@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: how much of NvMR's saving comes from escaping the
+ * atomicity (double-buffering) constraint of Section 3.4? We rerun
+ * the Figure 10 JIT comparison with the journal cost of in-place
+ * backups disabled (an idealized Clank whose backups are magically
+ * atomic for free). The remaining savings isolate the
+ * backup-frequency and register-persist effects.
+ */
+
+#include "bench_common.hh"
+
+using namespace nvmr;
+
+int
+main()
+{
+    setQuiet(true);
+    auto traces = HarvestTrace::standardSet(5);
+    SystemConfig with;
+    printBanner("Ablation: atomicity (double-buffering) cost of "
+                "in-place backups (JIT)",
+                with, static_cast<int>(traces.size()));
+
+    SystemConfig without = with;
+    without.modelBackupAtomicity = false;
+
+    PolicySpec jit;
+    TablePrinter table({"benchmark", "saved (atomicity modeled)",
+                        "saved (free atomicity)", "atomicity share"});
+    double sum_with = 0, sum_without = 0;
+
+    for (const std::string &name : paperWorkloadOrder()) {
+        Program prog = assembleWorkload(name);
+        Aggregate clank_w =
+            runAveraged(prog, ArchKind::Clank, with, jit, traces);
+        Aggregate nvmr_w =
+            runAveraged(prog, ArchKind::Nvmr, with, jit, traces);
+        Aggregate clank_wo =
+            runAveraged(prog, ArchKind::Clank, without, jit, traces);
+        Aggregate nvmr_wo =
+            runAveraged(prog, ArchKind::Nvmr, without, jit, traces);
+        requireClean(clank_w, name);
+        requireClean(nvmr_w, name);
+        requireClean(clank_wo, name);
+        requireClean(nvmr_wo, name);
+
+        double s_w = percentSaved(clank_w, nvmr_w);
+        double s_wo = percentSaved(clank_wo, nvmr_wo);
+        sum_with += s_w;
+        sum_without += s_wo;
+        table.addRow({name, pct(s_w), pct(s_wo), pct(s_w - s_wo)});
+    }
+    size_t n = paperWorkloadOrder().size();
+    table.addRow({"average", pct(sum_with / n), pct(sum_without / n),
+                  pct((sum_with - sum_without) / n)});
+    table.print();
+    std::printf("\nthe last column is the part of NvMR's win that "
+                "comes purely from not needing atomic in-place "
+                "persists\n");
+    return 0;
+}

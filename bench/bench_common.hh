@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses: the
+ * standard trace set, configuration banners and percent formatting.
+ */
+
+#ifndef NVMR_BENCH_BENCH_COMMON_HH
+#define NVMR_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/table.hh"
+#include "sim/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace nvmr
+{
+
+/** The paper's reporting order of benchmarks (Figures 10-14). */
+inline std::vector<std::string>
+paperWorkloadOrder()
+{
+    return {"adpcm_encode", "basicmath", "blowfish", "dijkstra",
+            "picojpeg",     "qsort",     "stringsearch", "2dconv",
+            "dwt",          "hist"};
+}
+
+/** Print the experiment banner with the Table 2 configuration. */
+inline void
+printBanner(const std::string &title, const SystemConfig &cfg,
+            int traces)
+{
+    std::printf("== %s ==\n", title.c_str());
+    std::printf(
+        "config: D$ %uB/%u-way/%uB-blk, GBF %u, MT$ %u/%u-way, "
+        "MT %u, free list %u, cap %.4gF (scale %.3g), %d traces\n\n",
+        cfg.cache.sizeBytes, cfg.cache.ways, cfg.cache.blockBytes,
+        cfg.gbfBits, cfg.mtCacheEntries, cfg.mtCacheWays,
+        cfg.mapTableEntries, cfg.effectiveFreeListEntries(),
+        cfg.capacitorFarads, cfg.capScale, traces);
+}
+
+/** Format a percentage cell. */
+inline std::string
+pct(double v)
+{
+    return TablePrinter::num(v, 1) + "%";
+}
+
+/** Abort the harness if a cell failed to complete or validate. */
+inline void
+requireClean(const Aggregate &agg, const std::string &what)
+{
+    fatal_if(!agg.allCompleted, what, ": a run did not complete");
+    fatal_if(!agg.allValidated, what,
+             ": a run failed final-state validation");
+}
+
+} // namespace nvmr
+
+#endif // NVMR_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Reproduces Figure 10: percent energy saved by NvMR relative to
+ * Clank under the three backup schemes (JIT, Spendthrift, watchdog
+ * timer), averaged across the 10-trace set.
+ *
+ * Paper shape: JIT saves ~20% on average (2%..37% per benchmark),
+ * Spendthrift ~15.6%, watchdog ~9%; a couple of benchmarks may lose
+ * slightly under the non-oracle schemes.
+ */
+
+#include "bench_common.hh"
+
+#include "common/barchart.hh"
+
+using namespace nvmr;
+
+int
+main()
+{
+    setQuiet(true);
+    SystemConfig cfg;
+    auto traces = HarvestTrace::standardSet();
+    printBanner("Figure 10: % energy saved, NvMR vs Clank, by backup "
+                "scheme",
+                cfg, static_cast<int>(traces.size()));
+
+    // Train one Spendthrift model per architecture (Section 5.2),
+    // on a training subset under the JIT oracle.
+    std::printf("training spendthrift models (7 train / 3 test "
+                "traces)...\n");
+    std::vector<std::string> train_set = {"hist", "dwt",
+                                          "adpcm_encode"};
+    // Train on a smaller capacitor so the JIT oracle fires often
+    // enough to label positive samples; the learned voltage
+    // threshold transfers to the evaluation capacitor.
+    SystemConfig train_cfg = cfg;
+    train_cfg.capacitorFarads = 7.5e-3;
+    double acc_clank = 0, acc_nvmr = 0;
+    SpendthriftModel model_clank = trainSpendthriftModel(
+        ArchKind::Clank, train_cfg, train_set, &acc_clank);
+    SpendthriftModel model_nvmr = trainSpendthriftModel(
+        ArchKind::Nvmr, train_cfg, train_set, &acc_nvmr);
+    std::printf("spendthrift held-out accuracy: clank %.1f%%, "
+                "nvmr %.1f%%\n\n",
+                acc_clank * 100, acc_nvmr * 100);
+
+    struct Scheme
+    {
+        const char *name;
+        PolicySpec clank;
+        PolicySpec nvmr;
+    };
+    PolicySpec jit{PolicyKind::Jit, 8000, 1.5, nullptr};
+    PolicySpec wdt{PolicyKind::Watchdog, 8000, 1.5, nullptr};
+    PolicySpec st_clank{PolicyKind::Spendthrift, 8000, 1.5,
+                        &model_clank};
+    PolicySpec st_nvmr{PolicyKind::Spendthrift, 8000, 1.5,
+                       &model_nvmr};
+    std::vector<Scheme> schemes = {
+        {"jit", jit, jit},
+        {"spendthrift", st_clank, st_nvmr},
+        {"watchdog", wdt, wdt},
+    };
+
+    TablePrinter table(
+        {"benchmark", "jit", "spendthrift", "watchdog"});
+    std::vector<double> sums(schemes.size(), 0);
+    BarChart chart("%");
+
+    for (const std::string &name : paperWorkloadOrder()) {
+        Program prog = assembleWorkload(name);
+        std::vector<std::string> row = {name};
+        for (size_t s = 0; s < schemes.size(); ++s) {
+            Aggregate clank = runAveraged(prog, ArchKind::Clank, cfg,
+                                          schemes[s].clank, traces);
+            Aggregate nvmr = runAveraged(prog, ArchKind::Nvmr, cfg,
+                                         schemes[s].nvmr, traces);
+            requireClean(clank, name);
+            requireClean(nvmr, name);
+            double saved = percentSaved(clank, nvmr);
+            sums[s] += saved;
+            row.push_back(pct(saved));
+            if (s == 0)
+                chart.add(name, saved);
+        }
+        table.addRow(row);
+    }
+    size_t n = paperWorkloadOrder().size();
+    table.addRow({"average", pct(sums[0] / n), pct(sums[1] / n),
+                  pct(sums[2] / n)});
+    table.print();
+    std::printf("\n%% energy saved under JIT (the headline "
+                "figure):\n");
+    chart.print();
+    std::printf("\npaper: jit ~20%% avg, spendthrift ~15.6%%, "
+                "watchdog ~9%%; ordering jit > spendthrift > "
+                "watchdog\n");
+    return 0;
+}

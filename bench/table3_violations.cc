@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reproduces Table 3: the number of idempotency violations per
+ * benchmark, measured on the ideal architecture (backups only from
+ * the JIT policy, never from structural hazards), averaged across
+ * the 10-trace set.
+ */
+
+#include <cinttypes>
+
+#include "bench_common.hh"
+
+using namespace nvmr;
+
+int
+main()
+{
+    setQuiet(true);
+    SystemConfig cfg;
+    auto traces = HarvestTrace::standardSet();
+    printBanner("Table 3: idempotency violations per benchmark "
+                "(ideal architecture, JIT backups)",
+                cfg, static_cast<int>(traces.size()));
+
+    PolicySpec jit;
+    jit.kind = PolicyKind::Jit;
+
+    TablePrinter table({"benchmark", "violations", "instructions",
+                        "violations/kinst"});
+    for (const std::string &name : paperWorkloadOrder()) {
+        Program prog = assembleWorkload(name);
+        Aggregate agg = runAveraged(prog, ArchKind::Ideal, cfg, jit,
+                                    traces);
+        requireClean(agg, name);
+        table.addRow({name, TablePrinter::num(agg.violations, 0),
+                      TablePrinter::num(agg.instructions, 0),
+                      TablePrinter::num(
+                          agg.violations / agg.instructions * 1000.0,
+                          2)});
+    }
+    table.print();
+    std::printf("\npaper shape: violation counts span orders of "
+                "magnitude across benchmarks\n");
+    return 0;
+}

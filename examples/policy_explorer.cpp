@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Policy explorer: the paper's core argument is that NvMR decouples
+ * *when* to back up from *program correctness*, so the policy can be
+ * chosen purely for the energy environment. This example sweeps
+ * policies (JIT, several watchdog periods) and capacitor sizes on
+ * one workload and prints the resulting energy/backup grid for both
+ * Clank and NvMR — on Clank the program (violations) dominates the
+ * backup count; on NvMR the policy does.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+void
+runCell(const Program &prog, ArchKind arch, const SystemConfig &cfg,
+        const PolicySpec &spec, const std::string &label,
+        const std::vector<HarvestTrace> &traces)
+{
+    RunOptions opts;
+    opts.maxCycles = 60000000ull; // stalled cells give up quickly
+    Aggregate agg = runAveraged(prog, arch, cfg, spec, traces, opts);
+    const char *note = "";
+    if (!agg.allCompleted) {
+        // The watchdog period exceeded the charge lifetime: the
+        // device re-executes the same interval forever. Clank
+        // escapes by accident (violation backups are incidental
+        // checkpoints); NvMR makes the policy responsible -- so the
+        // policy must actually be sane for the capacitor.
+        note = "  <- no forward progress (period > charge lifetime)";
+    } else if (!agg.allValidated) {
+        note = "  VALIDATION FAILED";
+    }
+    std::printf("  %-12s %10.1f uJ %8.0f backups, %6.0f violations%s\n",
+                label.c_str(), agg.totalEnergyNj / 1000.0,
+                agg.backups, agg.violations, note);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    Program prog = assembleWorkload("hist");
+    auto traces = HarvestTrace::standardSet(3);
+
+    for (double farads : {0.1, 7.5e-3}) {
+        std::printf("capacitor %.4g F:\n", farads);
+        for (ArchKind arch : {ArchKind::Clank, ArchKind::Nvmr}) {
+            std::printf(" %s:\n", archKindName(arch));
+            SystemConfig cfg;
+            cfg.capacitorFarads = farads;
+
+            PolicySpec jit;
+            runCell(prog, arch, cfg, jit, "jit", traces);
+            for (Cycles period : {2000u, 4000u, 8000u}) {
+                PolicySpec wd;
+                wd.kind = PolicyKind::Watchdog;
+                wd.watchdogPeriod = period;
+                runCell(prog, arch, cfg, wd,
+                        "wdt/" + std::to_string(period), traces);
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("takeaway: Clank's backup count barely moves with "
+                "the policy (violations force it);\nNvMR's tracks "
+                "the policy choice, which is the decoupling the "
+                "paper argues for.\n");
+    return 0;
+}

@@ -1,0 +1,340 @@
+#include "arch/arch.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+const char *
+backupReasonName(BackupReason reason)
+{
+    switch (reason) {
+      case BackupReason::Initial: return "initial";
+      case BackupReason::Policy: return "policy";
+      case BackupReason::IdempotencyViolation: return "violation";
+      case BackupReason::MtCacheEviction: return "mtcache_eviction";
+      case BackupReason::MapTableFull: return "maptable_full";
+      case BackupReason::FreeListEmpty: return "freelist_empty";
+      case BackupReason::OopBufferFull: return "oop_buffer_full";
+      case BackupReason::BufferFull: return "buffer_full";
+      case BackupReason::TaskBoundary: return "task_boundary";
+      case BackupReason::Final: return "final";
+      default: return "<bad>";
+    }
+}
+
+const char *
+archKindName(ArchKind kind)
+{
+    switch (kind) {
+      case ArchKind::Ideal: return "ideal";
+      case ArchKind::Clank: return "clank";
+      case ArchKind::ClankOriginal: return "clank_original";
+      case ArchKind::Task: return "task";
+      case ArchKind::Nvmr: return "nvmr";
+      case ArchKind::Hoop: return "hoop";
+      default: return "<bad>";
+    }
+}
+
+IntermittentArch::IntermittentArch(const SystemConfig &config, Nvm &nvm_,
+                                   EnergySink &snk)
+    : cfg(config), nvm(nvm_), sink(snk), cache(config.cache,
+                                              config.tech, snk)
+{
+    statRegistry.add(&archStats.backups);
+    statRegistry.add(&archStats.violations);
+    statRegistry.add(&archStats.renames);
+    statRegistry.add(&archStats.reclaims);
+    statRegistry.add(&archStats.restores);
+    statRegistry.add(&archStats.powerFailures);
+}
+
+void
+IntermittentArch::initialize(const Program &prog)
+{
+    nvm.loadImage(0, prog.data);
+    Addr end = prog.dataSize();
+    uint32_t block = cfg.cache.blockBytes;
+    appEnd = (end + block - 1) / block * block;
+    fatal_if(appEnd > nvm.sizeBytes(),
+             "program data does not fit in NVM");
+}
+
+// ----------------------------------------------------------------------
+// Access paths
+// ----------------------------------------------------------------------
+
+CacheLine &
+IntermittentArch::handleMiss(Addr block_addr)
+{
+    CacheLine &victim = cache.victim(block_addr);
+    if (victim.valid)
+        evictLine(victim);
+    // evictLine must leave the line clean; drop it.
+    panic_if(victim.valid && victim.dirty,
+             "evictLine left a dirty line behind");
+    cache.invalidate(victim);
+
+    std::vector<Word> data = fetchBlock(block_addr);
+    cache.fill(victim, block_addr, data);
+    afterFill(victim);
+    return victim;
+}
+
+CacheLine &
+IntermittentArch::access(Addr addr, uint32_t nbytes, bool is_store)
+{
+    Addr block = cache.blockAlign(addr);
+    CacheLine *line = cache.lookup(block);
+    if (!line)
+        line = &handleMiss(block);
+    onAccess(*line, addr - block, nbytes, is_store);
+    return *line;
+}
+
+void
+IntermittentArch::onAccess(CacheLine &, uint32_t, uint32_t, bool)
+{
+}
+
+Word
+IntermittentArch::loadWord(Addr addr)
+{
+    panic_if(addr % kWordBytes != 0, "misaligned load at ", addr);
+    CacheLine &line = access(addr, kWordBytes, false);
+    return line.data[cache.wordIndex(addr)];
+}
+
+void
+IntermittentArch::storeWord(Addr addr, Word value)
+{
+    panic_if(addr % kWordBytes != 0, "misaligned store at ", addr);
+    CacheLine &line = access(addr, kWordBytes, true);
+    uint32_t wi = cache.wordIndex(addr);
+    line.data[wi] = value;
+    line.dirty = true;
+    line.dirtyWordMask |= 1u << wi;
+}
+
+uint8_t
+IntermittentArch::loadByte(Addr addr)
+{
+    CacheLine &line = access(addr, 1, false);
+    uint32_t wi = cache.wordIndex(addr & ~3u);
+    return static_cast<uint8_t>(line.data[wi] >> (8 * (addr & 3u)));
+}
+
+void
+IntermittentArch::storeByte(Addr addr, uint8_t value)
+{
+    // Dominance handling of the partial write lives in
+    // CacheLine::touchSpan: with word-granular LBF (Table 2) a byte
+    // store counts as a read (it only partially overwrites the
+    // tracked unit -- found by differential fuzzing, see the
+    // PartialWordStore* regressions); with byte-granular LBF it is
+    // a genuine overwrite of its unit.
+    CacheLine &line = access(addr, 1, true);
+    uint32_t wi = cache.wordIndex(addr & ~3u);
+    unsigned shift = 8 * (addr & 3u);
+    line.data[wi] = (line.data[wi] & ~(0xffu << shift)) |
+                    (static_cast<Word>(value) << shift);
+    line.dirty = true;
+    line.dirtyWordMask |= 1u << wi;
+}
+
+// ----------------------------------------------------------------------
+// Backup / restore shared pieces
+// ----------------------------------------------------------------------
+
+void
+IntermittentArch::persistSnapshot(const CpuSnapshot &snap)
+{
+    // Registers + PC are written to a double-buffered NVM region;
+    // model as persistWords word writes (no address-level wear, the
+    // region alternates between two buffers).
+    for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
+        sink.addCycles(cfg.tech.flashWriteCycles);
+        sink.consume(cfg.tech.flashWriteWordNj);
+    }
+    persistedSnap = snap;
+    persistedValid = true;
+}
+
+void
+IntermittentArch::chargeJournalWrite(uint64_t words)
+{
+    // The journal alternates between two dedicated NVM regions, so
+    // it is charged for energy and time but not per-word wear.
+    if (!cfg.modelBackupAtomicity)
+        return;
+    sink.addCycles(words * cfg.tech.flashWriteCycles);
+    sink.consume(static_cast<double>(words) *
+                 cfg.tech.flashWriteWordNj);
+}
+
+NanoJoules
+IntermittentArch::nvmWriteCostNj(uint64_t words) const
+{
+    // Stall cycles charge core energy *and* structure leakage (and,
+    // for NvMR, map-table-cache leakage); bound them all so backup
+    // prechecks never under-estimate.
+    double per_cycle = cfg.tech.cpuCycleNj + cfg.tech.leakNjPerCycle +
+                       cfg.tech.mtCacheLeakNjPerCycle;
+    return static_cast<double>(words) *
+           (cfg.tech.flashWriteWordNj +
+            static_cast<double>(cfg.tech.flashWriteCycles) *
+                per_cycle);
+}
+
+NanoJoules
+IntermittentArch::nvmReadCostNj(uint64_t words) const
+{
+    double per_cycle = cfg.tech.cpuCycleNj + cfg.tech.leakNjPerCycle +
+                       cfg.tech.mtCacheLeakNjPerCycle;
+    return static_cast<double>(words) *
+           (cfg.tech.flashReadWordNj +
+            static_cast<double>(cfg.tech.flashReadCycles) *
+                per_cycle);
+}
+
+NanoJoules
+IntermittentArch::snapshotCostNj() const
+{
+    return nvmWriteCostNj(CpuSnapshot::persistWords);
+}
+
+void
+IntermittentArch::onPowerFail()
+{
+    ++archStats.powerFailures;
+    cache.invalidateAll();
+}
+
+CpuSnapshot
+IntermittentArch::performRestore()
+{
+    panic_if(!persistedValid, "restore without a persisted backup");
+    // Read back registers + PC.
+    for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
+        sink.addCycles(cfg.tech.flashReadCycles);
+        sink.consume(cfg.tech.flashReadWordNj);
+    }
+    ++archStats.restores;
+    return persistedSnap;
+}
+
+NanoJoules
+IntermittentArch::restoreCostNowNj() const
+{
+    return nvmReadCostNj(CpuSnapshot::persistWords);
+}
+
+Addr
+IntermittentArch::inspectMapping(Addr addr) const
+{
+    return addr;
+}
+
+Word
+IntermittentArch::inspectWord(Addr addr) const
+{
+    Addr block = addr & ~(cfg.cache.blockBytes - 1);
+    // Walk the cache without charging energy.
+    Word result = 0;
+    bool found = false;
+    cache.forEachLine([&](const CacheLine &line) {
+        if (line.valid && line.blockAddr == block) {
+            result = line.data[(addr - block) / kWordBytes];
+            found = true;
+        }
+    });
+    if (found)
+        return result;
+    Addr mapped = inspectMapping(block) + (addr - block);
+    return nvm.peekWord(mapped);
+}
+
+void
+IntermittentArch::countBackup(BackupReason reason)
+{
+    ++archStats.backups;
+    ++archStats.backupsByReason[static_cast<size_t>(reason)];
+}
+
+// ----------------------------------------------------------------------
+// DominanceArch
+// ----------------------------------------------------------------------
+
+DominanceArch::DominanceArch(const SystemConfig &config, Nvm &nvm_,
+                             EnergySink &snk)
+    : IntermittentArch(config, nvm_, snk),
+      gbf(config.gbfBits, config.gbfHashes, config.tech, snk)
+{
+}
+
+void
+DominanceArch::onAccess(CacheLine &line, uint32_t offset_in_block,
+                        uint32_t nbytes, bool is_store)
+{
+    sink.consume(cfg.tech.bloomNj); // LBF state update
+    line.touchSpan(offset_in_block, nbytes, is_store);
+}
+
+void
+DominanceArch::afterFill(CacheLine &line)
+{
+    // Section 4.5: a GBF hit means the block was read-dominated when
+    // it was last evicted in this code section; conservatively mark
+    // every word read-dominated.
+    if (gbf.maybeContains(line.blockAddr))
+        line.markAllReadDominated();
+}
+
+void
+DominanceArch::evictLine(CacheLine &line)
+{
+    bool read_dom = line.compositeReadDominated();
+    if (read_dom)
+        gbf.insert(line.blockAddr);
+    if (!line.dirty)
+        return;
+    if (read_dom) {
+        ++archStats.violations;
+        violatingWriteback(line);
+    } else {
+        normalWriteback(line);
+    }
+}
+
+void
+DominanceArch::normalWriteback(CacheLine &line)
+{
+    writeBlockTo(line.blockAddr, line);
+    line.dirty = false;
+}
+
+void
+DominanceArch::writeBlockTo(Addr target, const CacheLine &line)
+{
+    for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
+        nvm.writeWord(target + w * kWordBytes, line.data[w]);
+}
+
+void
+DominanceArch::resetDominanceState()
+{
+    gbf.reset();
+    cache.resetLbf();
+}
+
+void
+DominanceArch::onPowerFail()
+{
+    IntermittentArch::onPowerFail();
+    // The GBF/LBF are SRAM: their state is lost. A restore begins a
+    // new intermittent code section anyway, which starts empty.
+    gbf.reset();
+}
+
+} // namespace nvmr

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Base classes for intermittent architectures.
+ *
+ * IntermittentArch owns the write-back data cache and implements the
+ * CPU-facing DataPort; subclasses decide where cache blocks are
+ * fetched from and written back to, and how idempotency violations
+ * are handled (Ideal counts them, Clank backs up, NvMR renames, HOOP
+ * logs out-of-place). The simulator orchestrates backups through the
+ * BackupHost interface so the CPU register snapshot and energy-mode
+ * switching live in one place.
+ */
+
+#ifndef NVMR_ARCH_ARCH_HH
+#define NVMR_ARCH_ARCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/cpu.hh"
+#include "mem/bloom.hh"
+#include "mem/cache.hh"
+#include "mem/nvm.hh"
+#include "mem/port.hh"
+#include "power/energy.hh"
+#include "sim/config.hh"
+
+namespace nvmr
+{
+
+/** Why a backup was invoked. */
+enum class BackupReason : uint8_t
+{
+    Initial,              ///< persist the entry state before running
+    Policy,               ///< the backup policy fired
+    IdempotencyViolation, ///< Clank: violating eviction
+    MtCacheEviction,      ///< NvMR: dirty map-table-cache entry evicted
+    MapTableFull,         ///< NvMR: rename needed but map table full
+    FreeListEmpty,        ///< NvMR: rename needed but no mappings left
+    OopBufferFull,        ///< HOOP: out-of-place buffer full
+    BufferFull,           ///< original Clank: rf/wf buffer full
+    TaskBoundary,         ///< task-based scheme: `task` instruction
+    Final,                ///< program halted; persist everything
+    NUM
+};
+
+const char *backupReasonName(BackupReason reason);
+
+constexpr size_t kNumBackupReasons =
+    static_cast<size_t>(BackupReason::NUM);
+
+/**
+ * Thrown when the capacitor browns out during execution. The
+ * simulator's main loop catches it and runs the power-failure /
+ * recharge / restore sequence.
+ */
+struct PowerFailure
+{
+};
+
+/**
+ * The simulator-side interface an architecture uses to invoke a full
+ * backup from inside the memory system (violating eviction, structure
+ * full, ...). The call is synchronous: when it returns, the backup
+ * has persisted (or PowerFailure was thrown).
+ */
+class BackupHost
+{
+  public:
+    virtual ~BackupHost() = default;
+    virtual void requestBackup(BackupReason reason) = 0;
+};
+
+/** Counters every architecture maintains. */
+struct ArchStats
+{
+    Scalar backups{"backups", "persisted backups"};
+    Scalar violations{"violations", "idempotency violations detected"};
+    Scalar renames{"renames", "NVM block renames performed"};
+    Scalar reclaims{"reclaims", "map table entries reclaimed"};
+    Scalar restores{"restores", "restores after power loss"};
+    Scalar powerFailures{"power_failures", "brown-outs"};
+    std::array<uint64_t, kNumBackupReasons> backupsByReason{};
+};
+
+/**
+ * Common machinery: cache-front memory port, backup/restore of the
+ * register snapshot, region layout, validation hooks.
+ */
+class IntermittentArch : public DataPort
+{
+  public:
+    IntermittentArch(const SystemConfig &cfg, Nvm &nvm,
+                     EnergySink &sink);
+    ~IntermittentArch() override = default;
+
+    /** Human-readable architecture name. */
+    virtual const char *name() const = 0;
+
+    /** Wire up the simulator's backup orchestration. */
+    void attachHost(BackupHost *backup_host) { host = backup_host; }
+
+    /**
+     * Load the program's data image into NVM and lay out the
+     * reserved regions. Must be called once before execution.
+     */
+    virtual void initialize(const Program &prog);
+
+    // ------------------------------------------------------------------
+    // DataPort (CPU side)
+    // ------------------------------------------------------------------
+    Word loadWord(Addr addr) override;
+    void storeWord(Addr addr, Word value) override;
+    uint8_t loadByte(Addr addr) override;
+    void storeByte(Addr addr, uint8_t value) override;
+
+    // ------------------------------------------------------------------
+    // Intermittence control (called by the simulator)
+    // ------------------------------------------------------------------
+
+    /**
+     * Persist a full backup: register snapshot, dirty data, and any
+     * architecture-specific metadata. The simulator has already
+     * verified the energy budget and set the Backup energy mode.
+     */
+    virtual void performBackup(const CpuSnapshot &snap,
+                               BackupReason reason) = 0;
+
+    /**
+     * Upper bound on the energy a backup would cost right now; used
+     * by the JIT policy and the simulator's atomic-backup precheck.
+     */
+    virtual NanoJoules backupCostNowNj() const = 0;
+
+    /** Run after a persisted backup (NvMR reclaims here). */
+    virtual void postBackup(BackupReason reason) { (void)reason; }
+
+    /** Power was lost: drop all volatile state. */
+    virtual void onPowerFail();
+
+    /**
+     * Power is back: charge restore costs and return the snapshot to
+     * load into the CPU. Restore energy mode is already set.
+     */
+    virtual CpuSnapshot performRestore();
+
+    /** Energy a restore costs (precheck at power-on). */
+    virtual NanoJoules restoreCostNowNj() const;
+
+    /** True once any backup has persisted. */
+    bool hasPersistedState() const { return persistedValid; }
+
+    // ------------------------------------------------------------------
+    // Validation / inspection (no energy accounting)
+    // ------------------------------------------------------------------
+
+    /**
+     * Read the architecturally current value of an application word:
+     * cache first, then the architecture's latest mapping of the
+     * address. Used by the correctness oracle and tests.
+     */
+    virtual Word inspectWord(Addr addr) const;
+
+    /** End of application region (program data, block aligned). */
+    Addr appRegionEnd() const { return appEnd; }
+
+    const ArchStats &stats() const { return archStats; }
+
+    /** Name-indexed view of the counters (gem5-style stats). */
+    const StatGroup &statGroup() const { return statRegistry; }
+
+    const DataCache &dataCache() const { return cache; }
+    Nvm &nvmRef() { return nvm; }
+
+  protected:
+    const SystemConfig &cfg;
+    Nvm &nvm;
+    EnergySink &sink;
+    DataCache cache;
+    BackupHost *host = nullptr;
+
+    bool persistedValid = false;
+    CpuSnapshot persistedSnap;
+
+    Addr appEnd = 0;
+
+    ArchStats archStats;
+    StatGroup statRegistry;
+
+    /** Fetch the current data of a block from backing storage
+     *  (charged reads); used on cache misses. */
+    virtual std::vector<Word> fetchBlock(Addr block_addr) = 0;
+
+    /** Handle eviction of a valid line (writeback, violations,
+     *  renaming, logging...). Must leave the line clean. */
+    virtual void evictLine(CacheLine &line) = 0;
+
+    /** Hook run after a miss fill (GBF conservative marking). */
+    virtual void afterFill(CacheLine &line) { (void)line; }
+
+    /** Hook run on every access for dominance tracking; the span
+     *  is [offset_in_block, offset_in_block + nbytes). */
+    virtual void onAccess(CacheLine &line, uint32_t offset_in_block,
+                          uint32_t nbytes, bool is_store);
+
+    /** The architecturally-latest NVM location of an application
+     *  word, ignoring the cache (no energy). */
+    virtual Addr inspectMapping(Addr addr) const;
+
+    /** Miss path shared by all architectures. */
+    CacheLine &handleMiss(Addr block_addr);
+
+    /** Access path shared by loadWord/storeWord/loadByte/storeByte. */
+    CacheLine &access(Addr addr, uint32_t nbytes, bool is_store);
+
+    /** Persist the register snapshot (17 NVM word writes). */
+    void persistSnapshot(const CpuSnapshot &snap);
+
+    /**
+     * Charge the journal copy of a double-buffered persist: backups
+     * that overwrite recovery state in place (Clank persisting
+     * read-dominated blocks to their home addresses) must write the
+     * data twice -- once into the journal, once home -- to stay
+     * atomic (footnote 3 of the paper). Renamed persists don't pay
+     * this, which is the heart of NvMR's saving.
+     */
+    void chargeJournalWrite(uint64_t words);
+
+    /** Cost of persisting the register snapshot. */
+    NanoJoules snapshotCostNj() const;
+
+    /** Cost helper: n NVM word writes including stall-cycle energy. */
+    NanoJoules nvmWriteCostNj(uint64_t words) const;
+
+    /** Cost helper: n NVM word reads including stall-cycle energy. */
+    NanoJoules nvmReadCostNj(uint64_t words) const;
+
+    void countBackup(BackupReason reason);
+};
+
+/**
+ * Shared base for the idempotency-violation-aware architectures
+ * (Ideal, Clank, NvMR): owns the GBF and drives the LBF word-state
+ * protocol of Sections 4.3-4.5.
+ */
+class DominanceArch : public IntermittentArch
+{
+  public:
+    DominanceArch(const SystemConfig &cfg, Nvm &nvm, EnergySink &sink);
+
+    void onPowerFail() override;
+
+  protected:
+    BloomFilter gbf;
+
+    void onAccess(CacheLine &line, uint32_t offset_in_block,
+                  uint32_t nbytes, bool is_store) override;
+
+    /** GBF-driven conservative LBF initialization on fill. */
+    void afterFill(CacheLine &line) override;
+
+    /**
+     * Eviction protocol: log read-dominance in the GBF, flag
+     * violations on dirty read-dominated blocks, delegate the
+     * violating writeback to the subclass.
+     */
+    void evictLine(CacheLine &line) final;
+
+    /** Dirty, read-dominated block is leaving the cache. */
+    virtual void violatingWriteback(CacheLine &line) = 0;
+
+    /** Dirty, write-dominated/unknown block is leaving the cache. */
+    virtual void normalWriteback(CacheLine &line);
+
+    /** Write a block's words to an NVM location (charged). */
+    void writeBlockTo(Addr target, const CacheLine &line);
+
+    /** Reset GBF and LBF states (every backup does this). */
+    void resetDominanceState();
+};
+
+} // namespace nvmr
+
+#endif // NVMR_ARCH_ARCH_HH

@@ -1,0 +1,243 @@
+#include "arch/hoop.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+/** SRAM energy for touching one OOP-buffer entry. */
+constexpr NanoJoules kOopBufferTouchNj = 0.2;
+
+} // namespace
+
+HoopArch::HoopArch(const SystemConfig &config, Nvm &nvm_,
+                   EnergySink &snk)
+    : IntermittentArch(config, nvm_, snk)
+{
+}
+
+Word
+HoopArch::backingWord(Addr word_addr) const
+{
+    // Newest update wins: search the buffer backwards.
+    for (auto it = oopBuffer.rbegin(); it != oopBuffer.rend(); ++it)
+        if (it->first == word_addr)
+            return it->second;
+    auto log = committedLog.find(word_addr);
+    if (log != committedLog.end())
+        return log->second;
+    return nvm.peekWord(word_addr);
+}
+
+std::vector<Word>
+HoopArch::fetchBlock(Addr block_addr)
+{
+    // Reconstruct the block: OOP buffer first (newest), then the
+    // committed redo log (via the free mapping table), then home.
+    // Either way each word costs one NVM-scale read; buffer hits are
+    // an SRAM touch.
+    std::vector<Word> data(cfg.cache.wordsPerBlock());
+    for (uint32_t w = 0; w < data.size(); ++w) {
+        Addr addr = block_addr + w * kWordBytes;
+        bool in_buffer = false;
+        for (const auto &[a, v] : oopBuffer)
+            in_buffer = in_buffer || a == addr;
+        if (in_buffer) {
+            sink.consume(kOopBufferTouchNj);
+            data[w] = backingWord(addr);
+        } else {
+            sink.addCycles(cfg.tech.flashReadCycles);
+            sink.consume(cfg.tech.flashReadWordNj);
+            data[w] = backingWord(addr);
+        }
+    }
+    return data;
+}
+
+void
+HoopArch::evictLine(CacheLine &line)
+{
+    // The cache has no per-word dirty bits (neither do Clank's or
+    // NvMR's), so the whole block's words are appended to the OOP
+    // buffer; the paper's "high store locality packs better"
+    // observation follows from this block-granular ingestion.
+    if (!line.dirty)
+        return;
+    for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w) {
+        Addr addr = line.blockAddr + w * kWordBytes;
+        if (oopBuffer.size() >= cfg.oopBufferEntries) {
+            // Buffer full: HOOP backs up, which commits this line's
+            // words too and leaves nothing to insert.
+            panic_if(!host, "HoopArch needs an attached BackupHost");
+            host->requestBackup(BackupReason::OopBufferFull);
+            panic_if(line.dirty, "backup left the line dirty");
+            return;
+        }
+        sink.consume(kOopBufferTouchNj);
+        oopBuffer.emplace_back(addr, line.data[w]);
+    }
+    line.dirty = false;
+    line.dirtyWordMask = 0;
+}
+
+uint64_t
+HoopArch::packedFlushWords() const
+{
+    // Pack word updates into slices: one header word per run of
+    // same-block updates plus one word per update. No temporal
+    // deduplication -- the buffer is a log.
+    uint64_t words = 0;
+    uint64_t groups = 0;
+    Addr prev_block = kNoAddr;
+    auto visit = [&](Addr addr) {
+        Addr block = addr & ~(cfg.cache.blockBytes - 1);
+        if (block != prev_block) {
+            ++groups;
+            prev_block = block;
+        }
+        ++words;
+    };
+    for (const auto &[addr, val] : oopBuffer)
+        visit(addr);
+    cache.forEachLine([&](const CacheLine &line) {
+        if (!line.valid || !line.dirty)
+            return;
+        for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
+            visit(line.blockAddr + w * kWordBytes);
+    });
+    return words + groups;
+}
+
+void
+HoopArch::garbageCollect()
+{
+    // Scan the log (one read per region entry) and apply the latest
+    // committed value of every word to its home address.
+    sink.addCycles(regionFill * cfg.tech.flashReadCycles);
+    sink.consume(static_cast<double>(regionFill) *
+                 cfg.tech.flashReadWordNj);
+    for (const auto &[addr, val] : committedLog)
+        nvm.writeWord(addr, val);
+    committedLog.clear();
+    regionFill = 0;
+    ++gcs;
+}
+
+void
+HoopArch::flushBufferToRegion()
+{
+    // Gather the update log: buffered entries in order, then the
+    // dirty words still sitting in the cache (they are newest).
+    std::vector<std::pair<Addr, Word>> updates = oopBuffer;
+    cache.forEachLine([&](CacheLine &line) {
+        if (!line.valid || !line.dirty)
+            return;
+        for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
+            updates.emplace_back(line.blockAddr + w * kWordBytes,
+                                 line.data[w]);
+        line.dirty = false;
+        line.dirtyWordMask = 0;
+    });
+
+    uint32_t incoming = static_cast<uint32_t>(updates.size());
+    if (regionFill + incoming > cfg.oopRegionEntries)
+        garbageCollect();
+    if (incoming > cfg.oopRegionEntries) {
+        // The update set cannot fit the region at all (tiny-platform
+        // configuration): apply it straight to the home addresses.
+        // The backup is atomic, so the in-place writes are safe, but
+        // any stale committed-log entries for these words must go.
+        for (const auto &[addr, val] : updates) {
+            nvm.writeWord(addr, val);
+            committedLog.erase(addr);
+        }
+        oopBuffer.clear();
+        return;
+    }
+
+    // Append packed slices: one header write per run of same-block
+    // updates plus one write per word update.
+    Addr prev_block = kNoAddr;
+    for (const auto &[addr, val] : updates) {
+        Addr block = addr & ~(cfg.cache.blockBytes - 1);
+        if (block != prev_block) {
+            sink.addCycles(cfg.tech.flashWriteCycles);
+            sink.consume(cfg.tech.flashWriteWordNj);
+            prev_block = block;
+        }
+        sink.addCycles(cfg.tech.flashWriteCycles);
+        sink.consume(cfg.tech.flashWriteWordNj);
+        committedLog[addr] = val;
+    }
+    regionFill += incoming;
+    oopBuffer.clear();
+}
+
+void
+HoopArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
+{
+    flushBufferToRegion();
+    persistSnapshot(snap);
+    countBackup(reason);
+}
+
+NanoJoules
+HoopArch::backupCostNowNj() const
+{
+    NanoJoules cost = snapshotCostNj();
+    uint64_t flush_words = packedFlushWords();
+    cost += nvmWriteCostNj(flush_words);
+    // A flush may first have to garbage-collect the region.
+    uint64_t incoming = flush_words; // upper bound on update count
+    if (regionFill + incoming > cfg.oopRegionEntries) {
+        cost += nvmReadCostNj(regionFill);
+        cost += nvmWriteCostNj(committedLog.size());
+    }
+    return cost * 1.05 + 10.0;
+}
+
+void
+HoopArch::onPowerFail()
+{
+    IntermittentArch::onPowerFail();
+    oopBuffer.clear();
+}
+
+CpuSnapshot
+HoopArch::performRestore()
+{
+    CpuSnapshot snap = IntermittentArch::performRestore();
+    // HOOP garbage-collects the redo log during restore (Section 2.1).
+    garbageCollect();
+    return snap;
+}
+
+NanoJoules
+HoopArch::restoreCostNowNj() const
+{
+    return IntermittentArch::restoreCostNowNj() +
+           nvmReadCostNj(regionFill) +
+           nvmWriteCostNj(committedLog.size()) + 10.0;
+}
+
+Word
+HoopArch::inspectWord(Addr addr) const
+{
+    Addr block = addr & ~(cfg.cache.blockBytes - 1);
+    Word result = 0;
+    bool found = false;
+    cache.forEachLine([&](const CacheLine &line) {
+        if (line.valid && line.blockAddr == block) {
+            result = line.data[(addr - block) / kWordBytes];
+            found = true;
+        }
+    });
+    if (found)
+        return result;
+    return backingWord(addr);
+}
+
+} // namespace nvmr

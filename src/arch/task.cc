@@ -1,0 +1,22 @@
+#include "arch/task.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+TaskArch::TaskArch(const SystemConfig &config, Nvm &nvm_,
+                   EnergySink &snk)
+    : ClankArch(config, nvm_, snk)
+{
+}
+
+void
+TaskArch::taskBoundary()
+{
+    ++boundaries;
+    panic_if(!host, "TaskArch needs an attached BackupHost");
+    host->requestBackup(BackupReason::TaskBoundary);
+}
+
+} // namespace nvmr

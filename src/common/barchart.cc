@@ -1,0 +1,72 @@
+#include "common/barchart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace nvmr
+{
+
+BarChart::BarChart(std::string value_suffix, unsigned chart_width)
+    : suffix(std::move(value_suffix)), width(chart_width)
+{
+}
+
+void
+BarChart::add(const std::string &label, double value)
+{
+    bars.push_back({label, value});
+}
+
+std::string
+BarChart::render() const
+{
+    if (bars.empty())
+        return "";
+
+    size_t label_width = 0;
+    double max_abs = 0;
+    double min_val = 0;
+    for (const Bar &b : bars) {
+        label_width = std::max(label_width, b.label.size());
+        max_abs = std::max(max_abs, std::fabs(b.value));
+        min_val = std::min(min_val, b.value);
+    }
+    if (max_abs == 0)
+        max_abs = 1;
+
+    // Reserve left space for negative bars, proportionally.
+    unsigned neg_width =
+        min_val < 0 ? static_cast<unsigned>(std::ceil(
+                          -min_val / max_abs *
+                          static_cast<double>(width))) : 0;
+
+    std::ostringstream os;
+    for (const Bar &b : bars) {
+        unsigned len = static_cast<unsigned>(std::lround(
+            std::fabs(b.value) / max_abs * static_cast<double>(width)));
+        os << "  " << b.label
+           << std::string(label_width - b.label.size(), ' ') << " ";
+        if (b.value < 0) {
+            os << std::string(neg_width - len, ' ')
+               << std::string(len, '#') << "|";
+        } else {
+            os << std::string(neg_width, ' ') << "|"
+               << std::string(len, '#');
+        }
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), " %.1f%s", b.value,
+                      suffix.c_str());
+        os << buf << "\n";
+    }
+    return os.str();
+}
+
+void
+BarChart::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace nvmr

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII horizontal bar charts for the figure-reproduction harnesses:
+ * a dependency-free way to *see* the shapes the paper's figures show
+ * (grouped bars per benchmark, negative values supported).
+ */
+
+#ifndef NVMR_COMMON_BARCHART_HH
+#define NVMR_COMMON_BARCHART_HH
+
+#include <string>
+#include <vector>
+
+namespace nvmr
+{
+
+/** Renders labelled horizontal bars scaled to a character budget. */
+class BarChart
+{
+  public:
+    /**
+     * @param value_suffix Unit appended to each value (e.g. "%").
+     * @param width Character budget for the longest bar.
+     */
+    explicit BarChart(std::string value_suffix = "",
+                      unsigned width = 48);
+
+    /** Append one bar. */
+    void add(const std::string &label, double value);
+
+    /** Render all bars; negative values extend left of the axis. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::string suffix;
+    unsigned width;
+    struct Bar
+    {
+        std::string label;
+        double value;
+    };
+    std::vector<Bar> bars;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_BARCHART_HH

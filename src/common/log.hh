@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic() for simulator bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#ifndef NVMR_COMMON_LOG_HH
+#define NVMR_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace nvmr
+{
+
+/** Abort with a message; call for conditions that indicate a simulator
+ *  bug (never the user's fault). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message; call for user errors (bad configuration,
+ *  malformed assembly, etc.). */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print a status message to stderr (suppressed when quiet). */
+void informImpl(const std::string &msg);
+
+/** Globally silence inform() output (benches use this). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+namespace detail
+{
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace nvmr
+
+#define panic(...) \
+    ::nvmr::panicImpl(__FILE__, __LINE__, \
+                      ::nvmr::detail::formatAll(__VA_ARGS__))
+
+#define fatal(...) \
+    ::nvmr::fatalImpl(::nvmr::detail::formatAll(__VA_ARGS__))
+
+#define warn(...) \
+    ::nvmr::warnImpl(::nvmr::detail::formatAll(__VA_ARGS__))
+
+#define inform(...) \
+    ::nvmr::informImpl(::nvmr::detail::formatAll(__VA_ARGS__))
+
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) \
+            panic(__VA_ARGS__); \
+    } while (0)
+
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) \
+            fatal(__VA_ARGS__); \
+    } while (0)
+
+#endif // NVMR_COMMON_LOG_HH

@@ -1,0 +1,38 @@
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+void
+StatGroup::add(Scalar *stat)
+{
+    panic_if(!stat, "null stat registered");
+    auto [it, inserted] = byName.emplace(stat->name(), stat);
+    panic_if(!inserted, "duplicate stat name: ", stat->name());
+    order.push_back(stat);
+}
+
+const Scalar *
+StatGroup::find(const std::string &stat_name) const
+{
+    auto it = byName.find(stat_name);
+    return it == byName.end() ? nullptr : it->second;
+}
+
+double
+StatGroup::get(const std::string &stat_name) const
+{
+    const Scalar *s = find(stat_name);
+    return s ? s->value() : 0.0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Scalar *s : order)
+        s->reset();
+}
+
+} // namespace nvmr

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Lightweight named statistic counters. Every architectural component
+ * registers Scalar stats into a StatGroup; experiment harnesses read
+ * them out by name when printing tables.
+ */
+
+#ifndef NVMR_COMMON_STATS_HH
+#define NVMR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nvmr
+{
+
+/** A single named counter with a description. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    Scalar(std::string stat_name, std::string stat_desc)
+        : _name(std::move(stat_name)), _desc(std::move(stat_desc))
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+    double value() const { return _value; }
+
+    void reset() { _value = 0.0; }
+    void set(double v) { _value = v; }
+
+    Scalar &
+    operator+=(double v)
+    {
+        _value += v;
+        return *this;
+    }
+
+    Scalar &
+    operator++()
+    {
+        _value += 1.0;
+        return *this;
+    }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/**
+ * A flat registry of scalar stats. Components own their Scalars and
+ * register pointers here; the group never owns the memory (components
+ * outlive it within a Simulator run).
+ */
+class StatGroup
+{
+  public:
+    /** Register a stat; names must be unique within the group. */
+    void add(Scalar *stat);
+
+    /** Look up by name; returns nullptr if absent. */
+    const Scalar *find(const std::string &stat_name) const;
+
+    /** Value lookup that returns 0 for missing stats. */
+    double get(const std::string &stat_name) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+    /** All registered stats, in registration order. */
+    const std::vector<Scalar *> &all() const { return order; }
+
+  private:
+    std::map<std::string, Scalar *> byName;
+    std::vector<Scalar *> order;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_STATS_HH

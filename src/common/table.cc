@@ -1,0 +1,67 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nvmr
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header_cells)
+    : header(std::move(header_cells))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << (c == 0 ? "| " : " | ");
+            os << cell;
+            os << std::string(widths[c] - cell.size(), ' ');
+        }
+        os << " |\n";
+    };
+
+    emit_row(header);
+    for (size_t c = 0; c < widths.size(); ++c) {
+        os << (c == 0 ? "|-" : "-|-");
+        os << std::string(widths[c], '-');
+    }
+    os << "-|\n";
+    for (const auto &row : rows)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace nvmr

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to render
+ * paper-style result tables (one row per benchmark, one column per
+ * configuration).
+ */
+
+#ifndef NVMR_COMMON_TABLE_HH
+#define NVMR_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace nvmr
+{
+
+/** Accumulates rows of strings and prints them column-aligned. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header_cells);
+
+    /** Append a row; it may have fewer cells than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render the full table (header, separator, rows). */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_TABLE_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental fixed-width types shared across the NvMR simulator.
+ */
+
+#ifndef NVMR_COMMON_TYPES_HH
+#define NVMR_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace nvmr
+{
+
+/** Byte address into the simulated non-volatile memory. */
+using Addr = uint32_t;
+
+/** Machine word (the simulated CPU is a 32-bit Thumb-class core). */
+using Word = uint32_t;
+
+/** Signed view of a machine word, for arithmetic instructions. */
+using SWord = int32_t;
+
+/** Simulated clock cycle count (8 MHz core). */
+using Cycles = uint64_t;
+
+/** Energy in nanojoules; all accounting uses double precision. */
+using NanoJoules = double;
+
+/** Simulated wall-clock time in microseconds. */
+using MicroSecs = double;
+
+/** A sentinel for "no address". */
+constexpr Addr kNoAddr = 0xffffffffu;
+
+/** Bytes per machine word. */
+constexpr unsigned kWordBytes = 4;
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_TYPES_HH

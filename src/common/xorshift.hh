@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic xorshift PRNG used by workload data sections, synthetic
+ * harvester traces and the property-test program generator. The same
+ * generator is shared between assembled workloads (via the assembler's
+ * .rand directive) and their C++ golden models so both sides see
+ * identical inputs.
+ */
+
+#ifndef NVMR_COMMON_XORSHIFT_HH
+#define NVMR_COMMON_XORSHIFT_HH
+
+#include <cstdint>
+
+namespace nvmr
+{
+
+/**
+ * 64-bit xorshift* generator. Deterministic across platforms; never use
+ * std::rand or std::mt19937 in the simulator so results are reproducible
+ * bit-for-bit.
+ */
+class XorShift
+{
+  public:
+    explicit XorShift(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform 32-bit value. */
+    uint32_t next32() { return static_cast<uint32_t>(next() >> 32); }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_XORSHIFT_HH

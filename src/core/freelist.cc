@@ -1,0 +1,80 @@
+#include "core/freelist.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+FreeList::FreeList(uint32_t cap, const TechParams &params,
+                   EnergySink &snk)
+    : capacity(cap), tech(params), sink(snk)
+{
+    fatal_if(cap == 0, "free list needs at least one slot");
+    slots.assign(cap, kNoAddr);
+}
+
+void
+FreeList::initFill(Addr reserved_base, uint32_t block_bytes,
+                   uint32_t n)
+{
+    panic_if(n > capacity, "free list overfilled");
+    readPtr = 0;
+    writePtr = n % capacity;
+    count = n;
+    for (uint32_t i = 0; i < n; ++i)
+        slots[i] = reserved_base + i * block_bytes;
+    persistedReadPtr = readPtr;
+    persistedWritePtr = writePtr;
+    persistedCount = count;
+}
+
+Addr
+FreeList::pop()
+{
+    panic_if(count == 0, "pop from empty free list");
+    sink.addCycles(tech.flashReadCycles);
+    sink.consumeOverhead(tech.flashReadWordNj);
+    Addr mapping = slots[readPtr];
+    readPtr = (readPtr + 1) % capacity;
+    --count;
+    return mapping;
+}
+
+void
+FreeList::push(Addr mapping)
+{
+    panic_if(count == capacity, "push to full free list");
+    sink.addCycles(tech.flashWriteCycles);
+    sink.consumeOverhead(tech.flashWriteWordNj);
+    slots[writePtr] = mapping;
+    writePtr = (writePtr + 1) % capacity;
+    ++count;
+}
+
+void
+FreeList::persistPointers()
+{
+    sink.addCycles(2 * tech.flashWriteCycles);
+    sink.consumeOverhead(2 * tech.flashWriteWordNj);
+    persistedReadPtr = readPtr;
+    persistedWritePtr = writePtr;
+    persistedCount = count;
+}
+
+void
+FreeList::restorePointers()
+{
+    readPtr = persistedReadPtr;
+    writePtr = persistedWritePtr;
+    count = persistedCount;
+}
+
+NanoJoules
+FreeList::persistPointersCostNj() const
+{
+    return 2 * (tech.flashWriteWordNj +
+                static_cast<double>(tech.flashWriteCycles) *
+                    tech.cpuCycleNj);
+}
+
+} // namespace nvmr

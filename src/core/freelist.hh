@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The NvMR free list (Section 4): an NVM-resident circular queue of
+ * available mappings in the compiler-reserved region. Renames pop
+ * from the head during execution; backups push retired mappings to
+ * the tail and persist the read/write pointers. On a power loss the
+ * pointers revert to their last persisted values, which hands the
+ * un-persisted pops out again.
+ */
+
+#ifndef NVMR_CORE_FREELIST_HH
+#define NVMR_CORE_FREELIST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "power/energy.hh"
+
+namespace nvmr
+{
+
+/** NVM circular queue of available block mappings. */
+class FreeList
+{
+  public:
+    /**
+     * @param capacity Maximum number of mappings the list can hold.
+     * @param params Technology constants (NVM slot access costs).
+     * @param sink Overhead-energy sink.
+     */
+    FreeList(uint32_t capacity, const TechParams &params,
+             EnergySink &sink);
+
+    /**
+     * Fill the list with the reserved region's block addresses
+     * (unaccounted; done by the "compiler" before execution) and
+     * persist the initial pointers.
+     */
+    void initFill(Addr reserved_base, uint32_t block_bytes,
+                  uint32_t count);
+
+    bool empty() const { return count == 0; }
+    bool full() const { return count == capacity; }
+    uint32_t size() const { return count; }
+
+    /** Pop the mapping at the head (1 NVM slot read, charged). */
+    Addr pop();
+
+    /** Push a mapping at the tail (1 NVM slot write, charged). */
+    void push(Addr mapping);
+
+    /** Persist head/tail pointers (2 NVM word writes, charged). */
+    void persistPointers();
+
+    /** Power loss: revert the pointers to the last persisted copy. */
+    void restorePointers();
+
+    /** Cost of persisting the pointers (for backup estimates). */
+    NanoJoules persistPointersCostNj() const;
+
+  private:
+    uint32_t capacity;
+    const TechParams &tech;
+    EnergySink &sink;
+
+    std::vector<Addr> slots;
+    uint32_t readPtr = 0;
+    uint32_t writePtr = 0;
+    uint32_t count = 0;
+
+    uint32_t persistedReadPtr = 0;
+    uint32_t persistedWritePtr = 0;
+    uint32_t persistedCount = 0;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_CORE_FREELIST_HH

@@ -1,0 +1,79 @@
+#include "core/maptable.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+MapTable::MapTable(uint32_t capacity, const TechParams &params,
+                   EnergySink &snk)
+    : cap(capacity), tech(params), sink(snk)
+{
+    fatal_if(capacity == 0, "map table needs at least one entry");
+    map.reserve(capacity);
+}
+
+std::optional<Addr>
+MapTable::lookup(Addr tag)
+{
+    // An entry read: tag + mapping words.
+    sink.addCycles(2 * tech.flashReadCycles);
+    sink.consumeOverhead(2 * tech.flashReadWordNj);
+    auto it = map.find(tag);
+    if (it == map.end())
+        return std::nullopt;
+    it->second.lastUse = ++tick;
+    return it->second.mapping;
+}
+
+void
+MapTable::set(Addr tag, Addr mapping)
+{
+    sink.addCycles(2 * tech.flashWriteCycles);
+    sink.consumeOverhead(2 * tech.flashWriteWordNj);
+    auto it = map.find(tag);
+    if (it != map.end()) {
+        it->second.mapping = mapping;
+        it->second.lastUse = ++tick;
+        return;
+    }
+    panic_if(map.size() >= cap, "map table overflow");
+    map.emplace(tag, Entry{mapping, ++tick});
+}
+
+void
+MapTable::erase(Addr tag)
+{
+    sink.addCycles(tech.flashWriteCycles);
+    sink.consumeOverhead(tech.flashWriteWordNj);
+    map.erase(tag);
+}
+
+bool
+MapTable::hasRoomFor(Addr tag) const
+{
+    return map.size() < cap || map.count(tag);
+}
+
+std::optional<std::pair<Addr, Addr>>
+MapTable::lruEntry() const
+{
+    if (map.empty())
+        return std::nullopt;
+    auto lru = map.begin();
+    for (auto it = map.begin(); it != map.end(); ++it)
+        if (it->second.lastUse < lru->second.lastUse)
+            lru = it;
+    return std::make_pair(lru->first, lru->second.mapping);
+}
+
+std::optional<Addr>
+MapTable::peek(Addr tag) const
+{
+    auto it = map.find(tag);
+    if (it == map.end())
+        return std::nullopt;
+    return it->second.mapping;
+}
+
+} // namespace nvmr

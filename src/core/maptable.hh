@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The NvMR map table (Section 4): an NVM-resident table mapping
+ * application block addresses (tags) to the NVM location holding
+ * their most recently backed-up data. Updated only during backups
+ * (from dirty map-table-cache entries) and during reclamation, so its
+ * contents always describe the recovery image.
+ */
+
+#ifndef NVMR_CORE_MAPTABLE_HH
+#define NVMR_CORE_MAPTABLE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/types.hh"
+#include "power/energy.hh"
+
+namespace nvmr
+{
+
+/** NVM-resident block-address mapping table. */
+class MapTable
+{
+  public:
+    MapTable(uint32_t capacity, const TechParams &params,
+             EnergySink &sink);
+
+    uint32_t capacity() const { return cap; }
+    uint32_t size() const { return static_cast<uint32_t>(map.size()); }
+
+    /**
+     * Accounted lookup (one 2-word NVM entry read). Refreshes the
+     * entry's (volatile) recency metadata used by reclamation.
+     */
+    std::optional<Addr> lookup(Addr tag);
+
+    /**
+     * Insert or update a mapping (one 2-word NVM entry write).
+     * Inserting a new tag when full is a simulator bug: callers must
+     * check hasRoomFor() first.
+     */
+    void set(Addr tag, Addr mapping);
+
+    /** Invalidate a mapping (one NVM word write; reclamation). */
+    void erase(Addr tag);
+
+    /** True if a new tag could still be inserted. */
+    bool hasRoomFor(Addr tag) const;
+
+    /** Least-recently-used entry, the reclaim victim. */
+    std::optional<std::pair<Addr, Addr>> lruEntry() const;
+
+    /** Unaccounted lookup for validation/tests. */
+    std::optional<Addr> peek(Addr tag) const;
+
+  private:
+    struct Entry
+    {
+        Addr mapping;
+        uint64_t lastUse;
+    };
+
+    uint32_t cap;
+    const TechParams &tech;
+    EnergySink &sink;
+    std::unordered_map<Addr, Entry> map;
+    uint64_t tick = 0;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_CORE_MAPTABLE_HH

@@ -1,0 +1,150 @@
+#include "core/mtcache.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+MapTableCache::MapTableCache(uint32_t num_entries, uint32_t num_ways,
+                             const TechParams &params, EnergySink &snk)
+    : entries(num_entries), ways(num_ways ? num_ways : num_entries),
+      tech(params), sink(snk)
+{
+    fatal_if(entries == 0, "map table cache needs entries");
+    fatal_if(ways > entries || entries % ways != 0,
+             "map table cache associativity must divide entries");
+    fatal_if((numSets() & (numSets() - 1)) != 0,
+             "map table cache set count must be a power of two");
+    slots.resize(entries);
+}
+
+uint32_t
+MapTableCache::setOf(Addr tag) const
+{
+    // Tags are block addresses; hash past the block-offset bits.
+    uint64_t x = tag >> 4;
+    x = (x ^ (x >> 16)) * 0x45d9f3b5ull;
+    return static_cast<uint32_t>(x) & (numSets() - 1);
+}
+
+MtcEntry *
+MapTableCache::lookup(Addr tag)
+{
+    sink.consumeOverhead(tech.mtCacheAccessNj);
+    uint32_t set = setOf(tag);
+    for (uint32_t w = 0; w < ways; ++w) {
+        MtcEntry &e = slots[set * ways + w];
+        if (e.valid && e.tag == tag) {
+            e.lruTick = ++tick;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+MtcEntry &
+MapTableCache::victim(Addr tag)
+{
+    uint32_t set = setOf(tag);
+    MtcEntry *lru = nullptr;
+    for (uint32_t w = 0; w < ways; ++w) {
+        MtcEntry &e = slots[set * ways + w];
+        if (!e.valid)
+            return e;
+        if (!lru || e.lruTick < lru->lruTick)
+            lru = &e;
+    }
+    return *lru;
+}
+
+void
+MapTableCache::markDirty(MtcEntry &entry)
+{
+    if (!entry.dirty) {
+        entry.dirty = true;
+        ++dirtyCnt;
+    }
+}
+
+void
+MapTableCache::markClean(MtcEntry &entry)
+{
+    if (entry.dirty) {
+        entry.dirty = false;
+        panic_if(dirtyCnt == 0, "dirty count underflow");
+        --dirtyCnt;
+    }
+}
+
+void
+MapTableCache::install(MtcEntry &slot, Addr tag, Addr old_map,
+                       Addr new_map, bool dirty, bool in_map_table)
+{
+    sink.consumeOverhead(tech.mtCacheAccessNj);
+    markClean(slot);
+    slot.valid = true;
+    if (dirty)
+        ++dirtyCnt;
+    slot.dirty = dirty;
+    slot.tag = tag;
+    slot.oldMap = old_map;
+    slot.newMap = new_map;
+    slot.inMapTable = in_map_table;
+    slot.lruTick = ++tick;
+}
+
+void
+MapTableCache::invalidateTag(Addr tag)
+{
+    uint32_t set = setOf(tag);
+    for (uint32_t w = 0; w < ways; ++w) {
+        MtcEntry &e = slots[set * ways + w];
+        if (e.valid && e.tag == tag) {
+            markClean(e);
+            e.valid = false;
+            return;
+        }
+    }
+}
+
+void
+MapTableCache::invalidateAll()
+{
+    for (MtcEntry &e : slots) {
+        e.valid = false;
+        e.dirty = false;
+    }
+    dirtyCnt = 0;
+}
+
+void
+MapTableCache::forEach(const std::function<void(MtcEntry &)> &fn)
+{
+    for (MtcEntry &e : slots)
+        fn(e);
+}
+
+void
+MapTableCache::forEach(
+    const std::function<void(const MtcEntry &)> &fn) const
+{
+    for (const MtcEntry &e : slots)
+        fn(e);
+}
+
+uint32_t
+MapTableCache::dirtyCount() const
+{
+    return dirtyCnt;
+}
+
+uint32_t
+MapTableCache::pendingNewTags() const
+{
+    uint32_t n = 0;
+    for (const MtcEntry &e : slots)
+        n += e.valid && !e.inMapTable;
+    return n;
+}
+
+} // namespace nvmr

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The NvMR map-table cache (Section 4.2): an on-chip SRAM,
+ * set-associative cache of map-table entries. Each entry holds the
+ * five fields of Figure 7: valid, dirty, tag, old mapping (the
+ * persisted recovery location) and new mapping (the location written
+ * since the last backup). A dirty entry eviction forces a backup so
+ * the NVM map table always reflects the most recent backup.
+ */
+
+#ifndef NVMR_CORE_MTCACHE_HH
+#define NVMR_CORE_MTCACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "power/energy.hh"
+
+namespace nvmr
+{
+
+/** One map-table cache entry (Figure 7). */
+struct MtcEntry
+{
+    bool valid = false;
+    bool dirty = false;
+    Addr tag = kNoAddr;
+    Addr oldMap = kNoAddr;
+    Addr newMap = kNoAddr;
+    uint64_t lruTick = 0;
+
+    /** True once this tag has a persisted NVM map-table entry;
+     *  used to bound pending new-tag insertions. */
+    bool inMapTable = false;
+};
+
+/** SRAM cache over the NVM map table. */
+class MapTableCache
+{
+  public:
+    /**
+     * @param entries Total entries (512 in Table 2).
+     * @param ways Associativity; 0 means fully associative.
+     */
+    MapTableCache(uint32_t entries, uint32_t ways,
+                  const TechParams &params, EnergySink &sink);
+
+    uint32_t numEntries() const { return entries; }
+
+    /** Accounted lookup; refreshes LRU on hit, nullptr on miss. */
+    MtcEntry *lookup(Addr tag);
+
+    /** Choose the fill victim for a tag (invalid way preferred,
+     *  else LRU). The caller handles a dirty victim (backup). */
+    MtcEntry &victim(Addr tag);
+
+    /** Install an entry into a line obtained from victim(). */
+    void install(MtcEntry &slot, Addr tag, Addr old_map, Addr new_map,
+                 bool dirty, bool in_map_table);
+
+    /** Mark an entry dirty (rename recorded since the last backup). */
+    void markDirty(MtcEntry &entry);
+
+    /** Mark an entry clean (its mapping was flushed to the map
+     *  table). */
+    void markClean(MtcEntry &entry);
+
+    /** Invalidate the entry for a tag if present (reclamation). */
+    void invalidateTag(Addr tag);
+
+    /** Drop everything (power loss). */
+    void invalidateAll();
+
+    /** Visit every entry. */
+    void forEach(const std::function<void(MtcEntry &)> &fn);
+    void forEach(const std::function<void(const MtcEntry &)> &fn) const;
+
+    uint32_t dirtyCount() const;
+
+    /** Valid entries whose tag has no NVM map-table entry yet. */
+    uint32_t pendingNewTags() const;
+
+  private:
+    uint32_t entries;
+    uint32_t ways;
+    const TechParams &tech;
+    EnergySink &sink;
+    std::vector<MtcEntry> slots;
+    uint64_t tick = 0;
+    uint32_t dirtyCnt = 0;
+
+    uint32_t numSets() const { return entries / ways; }
+    uint32_t setOf(Addr tag) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_CORE_MTCACHE_HH

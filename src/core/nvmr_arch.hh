@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The NvMR architecture (Section 4): eliminates idempotency-violation
+ * backups by renaming the NVM addresses of read-dominated dirty cache
+ * blocks at eviction time. Renames target fresh locations popped from
+ * the free list and are recorded in the volatile map-table cache; the
+ * NVM map table is only updated at backups, so it always describes
+ * the recovery image. Backups are forced only by dirty map-table-cache
+ * evictions or by structural exhaustion (map table full / free list
+ * empty), which reclamation (Section 4.8) mitigates.
+ */
+
+#ifndef NVMR_CORE_NVMR_ARCH_HH
+#define NVMR_CORE_NVMR_ARCH_HH
+
+#include "arch/arch.hh"
+#include "core/freelist.hh"
+#include "core/maptable.hh"
+#include "core/mtcache.hh"
+
+namespace nvmr
+{
+
+/** The renaming intermittent architecture. */
+class NvmrArch : public DominanceArch
+{
+  public:
+    NvmrArch(const SystemConfig &cfg, Nvm &nvm, EnergySink &sink);
+
+    const char *name() const override { return "nvmr"; }
+
+    void initialize(const Program &prog) override;
+
+    void performBackup(const CpuSnapshot &snap,
+                       BackupReason reason) override;
+    NanoJoules backupCostNowNj() const override;
+    void postBackup(BackupReason reason) override;
+
+    void onPowerFail() override;
+    CpuSnapshot performRestore() override;
+    NanoJoules restoreCostNowNj() const override;
+
+    /** Base address of the compiler-reserved renaming region. */
+    Addr reservedBase() const { return reserved; }
+
+    const MapTable &mapTableRef() const { return mapTable; }
+    const MapTableCache &mtCacheRef() const { return mtc; }
+    const FreeList &freeListRef() const { return freeList; }
+
+  protected:
+    std::vector<Word> fetchBlock(Addr block_addr) override;
+    void violatingWriteback(CacheLine &line) override;
+    void normalWriteback(CacheLine &line) override;
+    Addr inspectMapping(Addr addr) const override;
+
+  private:
+    MapTable mapTable;
+    MapTableCache mtc;
+    FreeList freeList;
+    Addr reserved = 0;
+
+    /**
+     * Find the map-table-cache entry for a tag, filling it from the
+     * NVM map table on a miss (if the tag is mapped there). May
+     * trigger a backup if the allocation evicts a dirty entry; in
+     * that case any dirty cache line the caller held becomes clean.
+     * Returns nullptr if the tag has no mapping anywhere.
+     */
+    MtcEntry *findOrFillEntry(Addr tag);
+
+    /**
+     * Make room for a new map-table-cache entry, backing up first if
+     * the victim is dirty. Returns true if a backup ran (mappings
+     * and line dirtiness may have changed; the caller must
+     * re-resolve).
+     */
+    bool ensureEntrySpace(Addr tag);
+
+    /** Install a map-table-cache entry into a guaranteed-clean
+     *  victim slot (call ensureEntrySpace first). */
+    MtcEntry &allocateEntry(Addr tag, Addr old_map, Addr new_map,
+                            bool dirty, bool in_map_table);
+
+    /** True if a brand-new tag can still be renamed (map table has a
+     *  slot left for the next backup's flush). */
+    bool mapTableHasRoomForNewTag() const;
+
+    /** The charged, execution-time mapping of a block address. */
+    Addr resolveMapping(Addr tag);
+};
+
+} // namespace nvmr
+
+#endif // NVMR_CORE_NVMR_ARCH_HH

@@ -1,0 +1,139 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+namespace nvmr
+{
+
+bool
+isLoad(Op op)
+{
+    return op == Op::LD || op == Op::LDB;
+}
+
+bool
+isStore(Op op)
+{
+    return op == Op::ST || op == Op::STB;
+}
+
+bool
+isControl(Op op)
+{
+    switch (op) {
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+      case Op::BLTU:
+      case Op::BGEU:
+      case Op::JMP:
+      case Op::JAL:
+      case Op::JR:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::ADD: return "add";
+      case Op::SUB: return "sub";
+      case Op::MUL: return "mul";
+      case Op::DIV: return "div";
+      case Op::REM: return "rem";
+      case Op::AND: return "and";
+      case Op::OR: return "or";
+      case Op::XOR: return "xor";
+      case Op::SLL: return "sll";
+      case Op::SRL: return "srl";
+      case Op::SRA: return "sra";
+      case Op::SLT: return "slt";
+      case Op::SLTU: return "sltu";
+      case Op::ADDI: return "addi";
+      case Op::ANDI: return "andi";
+      case Op::ORI: return "ori";
+      case Op::XORI: return "xori";
+      case Op::SLLI: return "slli";
+      case Op::SRLI: return "srli";
+      case Op::SRAI: return "srai";
+      case Op::SLTI: return "slti";
+      case Op::MULI: return "muli";
+      case Op::LUI: return "li";
+      case Op::LD: return "ld";
+      case Op::ST: return "st";
+      case Op::LDB: return "ldb";
+      case Op::STB: return "stb";
+      case Op::BEQ: return "beq";
+      case Op::BNE: return "bne";
+      case Op::BLT: return "blt";
+      case Op::BGE: return "bge";
+      case Op::BLTU: return "bltu";
+      case Op::BGEU: return "bgeu";
+      case Op::JMP: return "jmp";
+      case Op::JAL: return "jal";
+      case Op::JR: return "jr";
+      case Op::HALT: return "halt";
+      case Op::TASK: return "task";
+      default: return "<bad>";
+    }
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+    auto r = [](unsigned n) { return "r" + std::to_string(n); };
+
+    switch (inst.op) {
+      case Op::ADD: case Op::SUB: case Op::MUL: case Op::DIV:
+      case Op::REM: case Op::AND: case Op::OR: case Op::XOR:
+      case Op::SLL: case Op::SRL: case Op::SRA: case Op::SLT:
+      case Op::SLTU:
+        os << " " << r(inst.rd) << ", " << r(inst.rs1) << ", "
+           << r(inst.rs2);
+        break;
+      case Op::ADDI: case Op::ANDI: case Op::ORI: case Op::XORI:
+      case Op::SLLI: case Op::SRLI: case Op::SRAI: case Op::SLTI:
+      case Op::MULI:
+        os << " " << r(inst.rd) << ", " << r(inst.rs1) << ", "
+           << inst.imm;
+        break;
+      case Op::LUI:
+        os << " " << r(inst.rd) << ", " << inst.imm;
+        break;
+      case Op::LD: case Op::LDB:
+        os << " " << r(inst.rd) << ", " << inst.imm << "("
+           << r(inst.rs1) << ")";
+        break;
+      case Op::ST: case Op::STB:
+        os << " " << r(inst.rs2) << ", " << inst.imm << "("
+           << r(inst.rs1) << ")";
+        break;
+      case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      case Op::BLTU: case Op::BGEU:
+        os << " " << r(inst.rs1) << ", " << r(inst.rs2) << ", "
+           << inst.imm;
+        break;
+      case Op::JMP:
+        os << " " << inst.imm;
+        break;
+      case Op::JAL:
+        os << " " << r(inst.rd) << ", " << inst.imm;
+        break;
+      case Op::JR:
+        os << " " << r(inst.rs1) << ", " << inst.imm;
+        break;
+      case Op::HALT:
+      case Op::TASK:
+      default:
+        break;
+    }
+    return os.str();
+}
+
+} // namespace nvmr

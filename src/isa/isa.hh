@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The `iisa` instruction set: a 16-register, 32-bit Thumb-class RISC
+ * ISA executed by the simulated Cortex M0+-style core.
+ *
+ * This is the repo's substitute for the ARM Thumb ISA the paper runs
+ * (see DESIGN.md, substitution 1). Instructions are held pre-decoded;
+ * immediates are full 32-bit values. The PC is an instruction index
+ * into the program's text section (instructions execute from a separate
+ * instruction flash and are not subject to idempotency concerns).
+ *
+ * Register conventions (assembler mnemonics accept both `rN` and the
+ * aliases below):
+ *   r0  ("zero") — hardwired zero: reads 0, writes are discarded.
+ *   r14 ("sp")   — stack pointer by convention.
+ *   r15 ("ra")   — link register used by CALL/RET pseudo-ops.
+ */
+
+#ifndef NVMR_ISA_ISA_HH
+#define NVMR_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace nvmr
+{
+
+/** Number of architectural registers. */
+constexpr unsigned kNumRegs = 16;
+
+/** Register index of the hardwired zero register. */
+constexpr unsigned kRegZero = 0;
+
+/** Conventional stack pointer register. */
+constexpr unsigned kRegSp = 14;
+
+/** Conventional link register. */
+constexpr unsigned kRegRa = 15;
+
+/** Opcodes of the iisa instruction set. */
+enum class Op : uint8_t
+{
+    // R-type: rd = rs1 op rs2
+    ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // I-type: rd = rs1 op imm
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, MULI,
+    // rd = imm (32-bit load-immediate; assembler pseudo `li`)
+    LUI,
+    // Memory: word and byte granularity. Address = rs1 + imm.
+    LD, ST, LDB, STB,
+    // Branches: compare rs1, rs2; target in imm (instruction index).
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    // Unconditional control flow.
+    JMP,  // pc = imm
+    JAL,  // rd = pc + 1; pc = imm
+    JR,   // pc = rs1 + imm
+    // Stop execution (program completed).
+    HALT,
+    // Task boundary marker (Section 2.2's software schemes): a
+    // no-op for hardware-checkpointing architectures; task-based
+    // architectures back up here.
+    TASK,
+    NUM_OPS
+};
+
+/** A fully decoded instruction. */
+struct Instruction
+{
+    Op op = Op::HALT;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+};
+
+/** True for LD/LDB. */
+bool isLoad(Op op);
+
+/** True for ST/STB. */
+bool isStore(Op op);
+
+/** True for any instruction that can redirect the PC. */
+bool isControl(Op op);
+
+/** Mnemonic string for an opcode. */
+const char *opName(Op op);
+
+/** Render one instruction as assembly text (for diagnostics). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace nvmr
+
+#endif // NVMR_ISA_ISA_HH

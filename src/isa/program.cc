@@ -1,0 +1,28 @@
+#include "isa/program.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+uint32_t
+Program::labelOf(const std::string &label_name) const
+{
+    auto it = labels.find(label_name);
+    fatal_if(it == labels.end(),
+             "program ", name, ": unknown label '", label_name, "'");
+    return it->second;
+}
+
+Word
+Program::initialWord(Addr addr) const
+{
+    panic_if(addr + kWordBytes > data.size(),
+             "initialWord out of range: ", addr);
+    Word w = 0;
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        w |= static_cast<Word>(data[addr + i]) << (8 * i);
+    return w;
+}
+
+} // namespace nvmr

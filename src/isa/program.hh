@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A loaded program image: decoded text section plus the initial
+ * contents of the NVM data segment.
+ */
+
+#ifndef NVMR_ISA_PROGRAM_HH
+#define NVMR_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace nvmr
+{
+
+/**
+ * An assembled program. The data image is loaded into the application
+ * region of NVM (starting at address 0) before execution; the text
+ * section lives in instruction flash and is addressed by instruction
+ * index.
+ */
+class Program
+{
+  public:
+    /** Assembled name, for diagnostics and result tables. */
+    std::string name;
+
+    /** Decoded instructions; PC is an index into this vector. */
+    std::vector<Instruction> text;
+
+    /** Initial bytes of the data segment (NVM address 0 upward). */
+    std::vector<uint8_t> data;
+
+    /** Label name -> value (byte address or instruction index). */
+    std::map<std::string, uint32_t> labels;
+
+    /** Entry point (instruction index of label `main`, or 0). */
+    uint32_t entry = 0;
+
+    /** Byte size of the data segment. */
+    uint32_t dataSize() const { return static_cast<uint32_t>(data.size()); }
+
+    /** Look up a label or die; used by tests and golden models. */
+    uint32_t labelOf(const std::string &label_name) const;
+
+    /** Read an initial data word (little-endian); for tests. */
+    Word initialWord(Addr addr) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_ISA_PROGRAM_HH

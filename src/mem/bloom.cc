@@ -1,0 +1,61 @@
+#include "mem/bloom.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+BloomFilter::BloomFilter(unsigned num_bits, unsigned hashes,
+                         const TechParams &params, EnergySink &snk)
+    : bits(num_bits, false), numHashes(hashes), tech(params), sink(snk)
+{
+    fatal_if(num_bits == 0, "bloom filter needs at least one bit");
+    fatal_if(hashes == 0, "bloom filter needs at least one hash");
+}
+
+unsigned
+BloomFilter::hashOf(Addr block_addr, unsigned which) const
+{
+    // splitmix64-style finalizer, salted per hash function.
+    uint64_t x = (static_cast<uint64_t>(block_addr) << 1) | 1;
+    x += 0x9e3779b97f4a7c15ull * (which + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<unsigned>(x % bits.size());
+}
+
+void
+BloomFilter::insert(Addr block_addr)
+{
+    sink.consume(tech.bloomNj);
+    for (unsigned h = 0; h < numHashes; ++h)
+        bits[hashOf(block_addr, h)] = true;
+}
+
+bool
+BloomFilter::maybeContains(Addr block_addr)
+{
+    sink.consume(tech.bloomNj);
+    for (unsigned h = 0; h < numHashes; ++h)
+        if (!bits[hashOf(block_addr, h)])
+            return false;
+    return true;
+}
+
+void
+BloomFilter::reset()
+{
+    bits.assign(bits.size(), false);
+}
+
+double
+BloomFilter::occupancy() const
+{
+    size_t set = 0;
+    for (bool b : bits)
+        set += b;
+    return static_cast<double>(set) / static_cast<double>(bits.size());
+}
+
+} // namespace nvmr

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The global bloom filter (GBF): a small bit-vector bloom filter that
+ * records which evicted cache blocks were read-dominated in the
+ * current intermittent code section. False positives conservatively
+ * mark blocks read-dominated (extra renames/backups, never
+ * incorrectness); false negatives cannot occur for inserted blocks.
+ */
+
+#ifndef NVMR_MEM_BLOOM_HH
+#define NVMR_MEM_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "power/energy.hh"
+
+namespace nvmr
+{
+
+/** Bloom filter over cache-block addresses. */
+class BloomFilter
+{
+  public:
+    /**
+     * @param bits Number of one-bit entries (8 in Table 2).
+     * @param hashes Number of hash functions (1 in the paper).
+     * @param params Technology constants (lookup/update energy).
+     * @param sink Where access energy is charged.
+     */
+    BloomFilter(unsigned bits, unsigned hashes,
+                const TechParams &params, EnergySink &sink);
+
+    /** Record a (read-dominated) block address. */
+    void insert(Addr block_addr);
+
+    /** Membership test; may return false positives. */
+    bool maybeContains(Addr block_addr);
+
+    /** Clear all bits (done at every backup). */
+    void reset();
+
+    /** Fraction of bits set, for diagnostics. */
+    double occupancy() const;
+
+    unsigned numBits() const { return static_cast<unsigned>(bits.size()); }
+
+  private:
+    std::vector<bool> bits;
+    unsigned numHashes;
+    const TechParams &tech;
+    EnergySink &sink;
+
+    unsigned hashOf(Addr block_addr, unsigned which) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_MEM_BLOOM_HH

@@ -1,0 +1,135 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+DataCache::DataCache(const CacheConfig &config, const TechParams &params,
+                     EnergySink &snk)
+    : cfg(config), tech(params), sink(snk)
+{
+    fatal_if(cfg.blockBytes == 0 || cfg.blockBytes % kWordBytes != 0,
+             "block size must be a multiple of the word size");
+    fatal_if(cfg.sizeBytes % cfg.blockBytes != 0,
+             "cache size must be a multiple of the block size");
+    fatal_if(cfg.ways == 0 || cfg.numBlocks() % cfg.ways != 0,
+             "cache blocks must divide evenly into ways");
+    fatal_if((cfg.numSets() & (cfg.numSets() - 1)) != 0,
+             "number of sets must be a power of two");
+
+    fatal_if(cfg.lbfGranularityBytes == 0 ||
+                 cfg.blockBytes % cfg.lbfGranularityBytes != 0,
+             "LBF granularity must divide the block size");
+    lines.resize(cfg.numBlocks());
+    for (CacheLine &line : lines) {
+        line.data.assign(cfg.wordsPerBlock(), 0);
+        line.lbf.assign(cfg.lbfEntries(), WordState::Unknown);
+        line.lbfGranularity = cfg.lbfGranularityBytes;
+    }
+}
+
+uint32_t
+DataCache::setOf(Addr block_addr) const
+{
+    return (block_addr / cfg.blockBytes) & (cfg.numSets() - 1);
+}
+
+CacheLine *
+DataCache::lookup(Addr block_addr)
+{
+    panic_if(block_addr % cfg.blockBytes != 0,
+             "lookup of unaligned block address ", block_addr);
+    sink.consume(tech.cacheAccessNj);
+    uint32_t set = setOf(block_addr);
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        CacheLine &line = lines[set * cfg.ways + w];
+        if (line.valid && line.blockAddr == block_addr) {
+            line.lruTick = ++tick;
+            ++_hits;
+            return &line;
+        }
+    }
+    ++_misses;
+    return nullptr;
+}
+
+CacheLine &
+DataCache::victim(Addr block_addr)
+{
+    uint32_t set = setOf(block_addr);
+    CacheLine *lru = nullptr;
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        CacheLine &line = lines[set * cfg.ways + w];
+        if (!line.valid)
+            return line;
+        if (!lru || line.lruTick < lru->lruTick)
+            lru = &line;
+    }
+    return *lru;
+}
+
+void
+DataCache::fill(CacheLine &line, Addr block_addr,
+                const std::vector<Word> &data)
+{
+    panic_if(data.size() != cfg.wordsPerBlock(),
+             "fill with wrong block size");
+    sink.consume(tech.cacheAccessNj);
+    line.valid = true;
+    line.dirty = false;
+    line.blockAddr = block_addr;
+    line.data = data;
+    line.lbf.assign(cfg.lbfEntries(), WordState::Unknown);
+    line.dirtyWordMask = 0;
+    line.lruTick = ++tick;
+}
+
+void
+DataCache::invalidate(CacheLine &line)
+{
+    line.valid = false;
+    line.dirty = false;
+    line.blockAddr = kNoAddr;
+    line.dirtyWordMask = 0;
+}
+
+void
+DataCache::invalidateAll()
+{
+    for (CacheLine &line : lines)
+        invalidate(line);
+}
+
+void
+DataCache::resetLbf()
+{
+    for (CacheLine &line : lines)
+        line.lbf.assign(cfg.lbfEntries(), WordState::Unknown);
+}
+
+void
+DataCache::forEachLine(const std::function<void(CacheLine &)> &fn)
+{
+    for (CacheLine &line : lines)
+        fn(line);
+}
+
+void
+DataCache::forEachLine(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const CacheLine &line : lines)
+        fn(line);
+}
+
+uint32_t
+DataCache::dirtyCount() const
+{
+    uint32_t n = 0;
+    for (const CacheLine &line : lines)
+        n += line.valid && line.dirty;
+    return n;
+}
+
+} // namespace nvmr

@@ -1,0 +1,136 @@
+#include "mem/nvm.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+Nvm::Nvm(uint32_t size_bytes, const TechParams &params, EnergySink &snk)
+    : size(size_bytes), tech(params), sink(snk)
+{
+    fatal_if(size_bytes == 0 || size_bytes % kWordBytes != 0,
+             "NVM size must be a positive multiple of the word size");
+    mem.assign(size_bytes, 0);
+    wear.assign(size_bytes / kWordBytes, 0);
+}
+
+const uint8_t *
+Nvm::bytesAt(Addr addr, uint32_t n) const
+{
+    panic_if(addr + n > size, "NVM access out of range: ", addr);
+    return mem.data() + addr;
+}
+
+uint32_t
+Nvm::wordIndex(Addr addr) const
+{
+    panic_if(addr % kWordBytes != 0, "misaligned NVM word access: ",
+             addr);
+    panic_if(addr + kWordBytes > size, "NVM access out of range: ",
+             addr);
+    return addr / kWordBytes;
+}
+
+Word
+Nvm::readWord(Addr addr)
+{
+    ++reads;
+    sink.addCycles(tech.flashReadCycles);
+    sink.consume(tech.flashReadWordNj);
+    return peekWord(addr);
+}
+
+void
+Nvm::writeWord(Addr addr, Word value)
+{
+    uint32_t idx = wordIndex(addr);
+    ++writes;
+    ++wear[idx];
+    sink.addCycles(tech.flashWriteCycles);
+    sink.consume(tech.flashWriteWordNj);
+    pokeWord(addr, value);
+}
+
+Word
+Nvm::peekWord(Addr addr) const
+{
+    wordIndex(addr); // bounds/alignment check
+    Word w = 0;
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        w |= static_cast<Word>(mem[addr + i]) << (8 * i);
+    return w;
+}
+
+void
+Nvm::pokeWord(Addr addr, Word value)
+{
+    wordIndex(addr);
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        mem[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+}
+
+void
+Nvm::pokeByte(Addr addr, uint8_t value)
+{
+    panic_if(addr >= size, "NVM access out of range: ", addr);
+    mem[addr] = value;
+}
+
+void
+Nvm::loadImage(Addr base, const std::vector<uint8_t> &image)
+{
+    panic_if(base + image.size() > size, "image does not fit in NVM");
+    std::copy(image.begin(), image.end(), mem.begin() + base);
+}
+
+uint64_t
+Nvm::wearOf(Addr addr) const
+{
+    return wear[addr / kWordBytes];
+}
+
+uint64_t
+Nvm::maxWear() const
+{
+    uint32_t m = 0;
+    for (uint32_t w : wear)
+        m = std::max(m, w);
+    return m;
+}
+
+uint64_t
+Nvm::wearPercentile(double p) const
+{
+    std::vector<uint32_t> worn;
+    for (uint32_t w : wear)
+        if (w > 0)
+            worn.push_back(w);
+    if (worn.empty())
+        return 0;
+    std::sort(worn.begin(), worn.end());
+    double clamped = std::min(std::max(p, 0.0), 1.0);
+    size_t idx = static_cast<size_t>(
+        clamped * static_cast<double>(worn.size() - 1) + 0.5);
+    return worn[idx];
+}
+
+uint64_t
+Nvm::wornWords() const
+{
+    uint64_t n = 0;
+    for (uint32_t w : wear)
+        n += w > 0;
+    return n;
+}
+
+void
+Nvm::resetStats()
+{
+    std::fill(wear.begin(), wear.end(), 0);
+    writes = 0;
+    reads = 0;
+}
+
+} // namespace nvmr

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Non-volatile memory (Flash) model: a flat byte array with per-word
+ * access energies charged to an EnergySink and per-word wear counters
+ * (Section 6.5 reports NVM wear-out reduction).
+ */
+
+#ifndef NVMR_MEM_NVM_HH
+#define NVMR_MEM_NVM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "power/energy.hh"
+
+namespace nvmr
+{
+
+/**
+ * The on-board Flash. Reads and writes are word-granular and charge
+ * energy to the attached sink; peek/poke bypass accounting for
+ * initialization and validation.
+ */
+class Nvm
+{
+  public:
+    /**
+     * @param size_bytes Flash capacity (2 MB in Table 2).
+     * @param params Technology constants for access energies.
+     * @param sink Where access energy is charged.
+     */
+    Nvm(uint32_t size_bytes, const TechParams &params, EnergySink &sink);
+
+    uint32_t sizeBytes() const { return size; }
+
+    /** Accounted word read. */
+    Word readWord(Addr addr);
+
+    /** Accounted word write; bumps the wear counter. */
+    void writeWord(Addr addr, Word value);
+
+    /** Unaccounted read (initialization / validation / tests). */
+    Word peekWord(Addr addr) const;
+
+    /** Unaccounted write (initialization / tests); no wear. */
+    void pokeWord(Addr addr, Word value);
+
+    /** Unaccounted byte accessors for loading program images. */
+    uint8_t peekByte(Addr addr) const { return bytesAt(addr, 1)[0]; }
+    void pokeByte(Addr addr, uint8_t value);
+
+    /** Load a byte image starting at the given address. */
+    void loadImage(Addr base, const std::vector<uint8_t> &image);
+
+    /** Number of accounted writes to the word containing addr. */
+    uint64_t wearOf(Addr addr) const;
+
+    /** Maximum accounted writes to any single word (wear-out). */
+    uint64_t maxWear() const;
+
+    /**
+     * Wear at a percentile over the *worn* words (words never
+     * written are excluded; flash wear-out is governed by the hot
+     * tail, not the untouched expanse). p in [0, 1]; 1.0 == maxWear.
+     * Returns 0 when nothing was written.
+     */
+    uint64_t wearPercentile(double p) const;
+
+    /** Number of distinct words written at least once. */
+    uint64_t wornWords() const;
+
+    /** Total accounted word writes. */
+    uint64_t totalWrites() const { return writes; }
+
+    /** Total accounted word reads. */
+    uint64_t totalReads() const { return reads; }
+
+    void resetStats();
+
+  private:
+    uint32_t size;
+    const TechParams &tech;
+    EnergySink &sink;
+    std::vector<uint8_t> mem;
+    std::vector<uint32_t> wear; // per word
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+
+    const uint8_t *bytesAt(Addr addr, uint32_t n) const;
+    uint32_t wordIndex(Addr addr) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_MEM_NVM_HH

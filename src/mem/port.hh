@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The data port through which the CPU issues loads and stores. Each
+ * intermittent architecture implements this interface; cycle and energy
+ * costs of the memory system are charged internally by the
+ * implementation (the CPU only accounts its own pipeline cycles).
+ */
+
+#ifndef NVMR_MEM_PORT_HH
+#define NVMR_MEM_PORT_HH
+
+#include "common/types.hh"
+
+namespace nvmr
+{
+
+/** Abstract CPU-side memory interface (word and byte granularity). */
+class DataPort
+{
+  public:
+    virtual ~DataPort() = default;
+
+    /** Load a 32-bit word from a word-aligned address. */
+    virtual Word loadWord(Addr addr) = 0;
+
+    /** Store a 32-bit word to a word-aligned address. */
+    virtual void storeWord(Addr addr, Word value) = 0;
+
+    /** Load one byte (zero-extended). */
+    virtual uint8_t loadByte(Addr addr) = 0;
+
+    /** Store one byte. */
+    virtual void storeByte(Addr addr, uint8_t value) = 0;
+
+    /**
+     * The program crossed a `task` boundary (Section 2.2).
+     * Task-based architectures back up here; everything else
+     * ignores it.
+     */
+    virtual void taskBoundary() {}
+};
+
+} // namespace nvmr
+
+#endif // NVMR_MEM_PORT_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Supercapacitor energy-storage model: E = 1/2 C V^2, with the
+ * operating thresholds used by intermittent systems (turn-on voltage,
+ * brown-out voltage, maximum harvest voltage).
+ */
+
+#ifndef NVMR_POWER_CAPACITOR_HH
+#define NVMR_POWER_CAPACITOR_HH
+
+#include "common/types.hh"
+
+namespace nvmr
+{
+
+/**
+ * The storage capacitor. All energies are in nanojoules. The device
+ * runs while V > vOff; after a brown-out it stays off until the
+ * harvester recharges the capacitor past vOn.
+ *
+ * A documented scale factor is applied to the nominal capacitance so
+ * that active periods land in the 10^3..10^5 cycle range our
+ * benchmarks need (DESIGN.md substitution 4); the paper's relative
+ * capacitor-size ordering (500uF < 7.5mF < 100mF) is preserved.
+ */
+class Capacitor
+{
+  public:
+    /**
+     * @param nominal_farads Label capacitance (e.g. 0.1 for "100 mF").
+     * @param v_max Maximum harvest voltage (2.4 V in Table 2).
+     * @param v_on Turn-on threshold after a brown-out.
+     * @param v_off Brown-out voltage.
+     * @param cap_scale Coefficient of the power-law compression.
+     * @param cap_exponent Exponent of the power-law compression.
+     *
+     * The effective capacitance is cap_scale * nominal^cap_exponent:
+     * a documented compression of the paper's capacitor range so
+     * that, with our shortened benchmarks, the smallest capacitor
+     * still affords a worst-case backup while the largest still
+     * experiences several power cycles per run (DESIGN.md,
+     * substitution 4). Defaults map {500 uF, 7.5 mF, 100 mF} to
+     * roughly {8 uF, 41 uF, 198 uF}.
+     */
+    Capacitor(double nominal_farads, double v_max = 2.4,
+              double v_on = 2.2, double v_off = 1.8,
+              double cap_scale = 8e-4, double cap_exponent = 0.607);
+
+    /** Current capacitor voltage. */
+    double voltage() const { return v; }
+
+    /** Set the voltage directly (initial conditions, tests). */
+    void setVoltage(double new_v);
+
+    /** Stored energy above 0 V. */
+    NanoJoules energyNj() const { return toNj(v); }
+
+    /** Energy available before the brown-out voltage is reached. */
+    NanoJoules usableNj() const;
+
+    /** Energy that a full recharge could still add. */
+    NanoJoules headroomNj() const;
+
+    /** True when the supply has browned out. */
+    bool dead() const { return v <= vOff + 1e-12; }
+
+    /** True when a browned-out device may turn back on. */
+    bool canTurnOn() const { return v >= vOn; }
+
+    /** Remove energy (computation, backups). Clamps at 0 V. */
+    void drainNj(NanoJoules nj);
+
+    /** Add harvested energy. Clamps at vMax. */
+    void harvestNj(NanoJoules nj);
+
+    double vMaxVolts() const { return vMax; }
+    double vOnVolts() const { return vOn; }
+    double vOffVolts() const { return vOff; }
+
+    /** Effective (scaled) capacitance in farads. */
+    double effectiveFarads() const { return farads; }
+
+  private:
+    double farads;
+    double vMax;
+    double vOn;
+    double vOff;
+    double v;
+
+    NanoJoules toNj(double volts) const;
+    double toVolts(NanoJoules nj) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_POWER_CAPACITOR_HH

@@ -1,0 +1,89 @@
+#include "power/energy.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+const char *
+ecatName(ECat cat)
+{
+    switch (cat) {
+      case ECat::Forward: return "forward";
+      case ECat::ForwardOverhead: return "forward_overhead";
+      case ECat::Backup: return "backup";
+      case ECat::BackupOverhead: return "backup_overhead";
+      case ECat::Restore: return "restore";
+      case ECat::RestoreOverhead: return "restore_overhead";
+      case ECat::Reclaim: return "reclaim";
+      case ECat::Dead: return "dead";
+      default: return "<bad>";
+    }
+}
+
+void
+EnergyAccount::spendPending(ECat cat, NanoJoules nj)
+{
+    panic_if(nj < 0, "negative energy");
+    pending[static_cast<size_t>(cat)] += nj;
+}
+
+void
+EnergyAccount::spendCommitted(ECat cat, NanoJoules nj)
+{
+    panic_if(nj < 0, "negative energy");
+    committed[static_cast<size_t>(cat)] += nj;
+}
+
+void
+EnergyAccount::commitPending()
+{
+    for (size_t i = 0; i < kNumECats; ++i) {
+        committed[i] += pending[i];
+        pending[i] = 0;
+    }
+}
+
+void
+EnergyAccount::pendingToDead()
+{
+    NanoJoules sum = 0;
+    for (size_t i = 0; i < kNumECats; ++i) {
+        sum += pending[i];
+        pending[i] = 0;
+    }
+    committed[static_cast<size_t>(ECat::Dead)] += sum;
+}
+
+NanoJoules
+EnergyAccount::total(ECat cat) const
+{
+    return committed[static_cast<size_t>(cat)];
+}
+
+NanoJoules
+EnergyAccount::grandTotal() const
+{
+    NanoJoules sum = 0;
+    for (size_t i = 0; i < kNumECats; ++i)
+        sum += committed[i];
+    return sum;
+}
+
+NanoJoules
+EnergyAccount::pendingTotal() const
+{
+    NanoJoules sum = 0;
+    for (size_t i = 0; i < kNumECats; ++i)
+        sum += pending[i];
+    return sum;
+}
+
+void
+EnergyAccount::reset()
+{
+    committed.fill(0);
+    pending.fill(0);
+}
+
+} // namespace nvmr

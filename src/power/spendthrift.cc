@@ -1,0 +1,195 @@
+#include "power/spendthrift.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+SpendthriftModel::SpendthriftModel()
+{
+    // Deterministic small random init so an untrained model is still
+    // usable in tests.
+    XorShift rng(0xdecaf);
+    auto init = [&] {
+        return static_cast<float>(rng.uniform() - 0.5) * 0.5f;
+    };
+    for (auto &row : w1)
+        for (float &w : row)
+            w = init();
+    for (auto &row : w2)
+        for (float &w : row)
+            w = init();
+    for (float &w : w3)
+        w = init();
+}
+
+SpendthriftModel::Activations
+SpendthriftModel::forward(float x0, float x1) const
+{
+    Activations act;
+    for (int i = 0; i < kHidden; ++i)
+        act.h1[i] = std::tanh(w1[i][0] * x0 + w1[i][1] * x1 + b1[i]);
+    for (int i = 0; i < kHidden; ++i) {
+        float sum = b2[i];
+        for (int j = 0; j < kHidden; ++j)
+            sum += w2[i][j] * act.h1[j];
+        act.h2[i] = std::tanh(sum);
+    }
+    float out = b3;
+    for (int i = 0; i < kHidden; ++i)
+        out += w3[i] * act.h2[i];
+    act.out = sigmoid(out);
+    return act;
+}
+
+float
+SpendthriftModel::infer(float harvest_mw, float cap_volts) const
+{
+    return forward(normHarvest(harvest_mw), normVolts(cap_volts)).out;
+}
+
+void
+SpendthriftModel::train(const std::vector<SpendthriftSample> &samples,
+                        int epochs, float lr, uint64_t seed)
+{
+    fatal_if(samples.empty(), "no spendthrift training samples");
+    XorShift rng(seed);
+
+    std::vector<size_t> order(samples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        // Fisher-Yates shuffle.
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1],
+                      order[static_cast<size_t>(
+                          rng.range(0, static_cast<int64_t>(i) - 1))]);
+
+        for (size_t idx : order) {
+            const SpendthriftSample &s = samples[idx];
+            float x0 = normHarvest(s.harvestMw);
+            float x1 = normVolts(s.capVolts);
+            Activations act = forward(x0, x1);
+
+            // BCE gradient at the sigmoid output.
+            float dout = act.out - s.label;
+
+            // Output layer.
+            std::array<float, kHidden> dh2;
+            for (int i = 0; i < kHidden; ++i) {
+                dh2[i] = dout * w3[i] * (1 - act.h2[i] * act.h2[i]);
+                w3[i] -= lr * dout * act.h2[i];
+            }
+            b3 -= lr * dout;
+
+            // Second hidden layer.
+            std::array<float, kHidden> dh1{};
+            for (int i = 0; i < kHidden; ++i) {
+                for (int j = 0; j < kHidden; ++j) {
+                    dh1[j] += dh2[i] * w2[i][j] *
+                              (1 - act.h1[j] * act.h1[j]);
+                    w2[i][j] -= lr * dh2[i] * act.h1[j];
+                }
+                b2[i] -= lr * dh2[i];
+            }
+
+            // First hidden layer.
+            for (int j = 0; j < kHidden; ++j) {
+                w1[j][0] -= lr * dh1[j] * x0;
+                w1[j][1] -= lr * dh1[j] * x1;
+                b1[j] -= lr * dh1[j];
+            }
+        }
+    }
+}
+
+void
+SpendthriftModel::saveToFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write model file '", path, "'");
+    out << "spendthrift-mlp v1 " << kHidden << "\n";
+    out.precision(9);
+    for (const auto &row : w1)
+        for (float w : row)
+            out << w << " ";
+    out << "\n";
+    for (float b : b1)
+        out << b << " ";
+    out << "\n";
+    for (const auto &row : w2)
+        for (float w : row)
+            out << w << " ";
+    out << "\n";
+    for (float b : b2)
+        out << b << " ";
+    out << "\n";
+    for (float w : w3)
+        out << w << " ";
+    out << "\n" << b3 << "\n";
+    fatal_if(!out, "write error on model file '", path, "'");
+}
+
+SpendthriftModel
+SpendthriftModel::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open model file '", path, "'");
+    std::string magic, version;
+    int hidden = 0;
+    in >> magic >> version >> hidden;
+    fatal_if(magic != "spendthrift-mlp" || version != "v1" ||
+                 hidden != kHidden,
+             "'", path, "' is not a v1 spendthrift model of width ",
+             kHidden);
+    SpendthriftModel m;
+    for (auto &row : m.w1)
+        for (float &w : row)
+            in >> w;
+    for (float &b : m.b1)
+        in >> b;
+    for (auto &row : m.w2)
+        for (float &w : row)
+            in >> w;
+    for (float &b : m.b2)
+        in >> b;
+    for (float &w : m.w3)
+        in >> w;
+    in >> m.b3;
+    fatal_if(!in, "truncated model file '", path, "'");
+    return m;
+}
+
+double
+SpendthriftModel::accuracy(
+    const std::vector<SpendthriftSample> &samples) const
+{
+    if (samples.empty())
+        return 0.0;
+    size_t correct = 0;
+    for (const SpendthriftSample &s : samples) {
+        bool pred = predict(s.harvestMw, s.capVolts);
+        correct += pred == (s.label > 0.5f);
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(samples.size());
+}
+
+} // namespace nvmr

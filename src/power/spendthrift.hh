@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Spendthrift backup predictor: a small fixed-topology MLP
+ * (2 -> 8 -> 8 -> 1, tanh hidden units, sigmoid output) trained with
+ * plain SGD on labels produced by the JIT oracle. This is the repo's
+ * stand-in for the paper's PyTorch model (DESIGN.md substitution 5):
+ * same inputs (environment power, capacitor voltage), same training
+ * recipe (oracle-labelled samples from 7 training traces, tested on
+ * 3 held-out traces).
+ */
+
+#ifndef NVMR_POWER_SPENDTHRIFT_HH
+#define NVMR_POWER_SPENDTHRIFT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmr
+{
+
+/** One labelled observation from a JIT-oracle run. */
+struct SpendthriftSample
+{
+    float harvestMw = 0;
+    float capVolts = 0;
+    float label = 0; ///< 1 if the oracle would back up now
+};
+
+/** The 2-8-8-1 MLP. */
+class SpendthriftModel
+{
+  public:
+    static constexpr int kHidden = 8;
+
+    SpendthriftModel();
+
+    /** P(back up now | harvest power, capacitor voltage). */
+    float infer(float harvest_mw, float cap_volts) const;
+
+    /** Decision threshold at 0.5. */
+    bool
+    predict(float harvest_mw, float cap_volts) const
+    {
+        return infer(harvest_mw, cap_volts) > 0.5f;
+    }
+
+    /**
+     * Train with SGD + BCE loss.
+     * @param samples Labelled observations (shuffled internally).
+     * @param epochs Passes over the data.
+     * @param lr Learning rate.
+     * @param seed Weight-init / shuffle seed.
+     */
+    void train(const std::vector<SpendthriftSample> &samples,
+               int epochs = 30, float lr = 0.05f,
+               uint64_t seed = 1234);
+
+    /** Classification accuracy on a sample set. */
+    double accuracy(const std::vector<SpendthriftSample> &samples)
+        const;
+
+    /**
+     * Persist the weights to a text file (versioned header +
+     * full-precision floats). fatal()s on I/O errors.
+     */
+    void saveToFile(const std::string &path) const;
+
+    /** Load weights saved by saveToFile. fatal()s on bad files. */
+    static SpendthriftModel loadFromFile(const std::string &path);
+
+  private:
+    // Layer parameters.
+    std::array<std::array<float, 2>, kHidden> w1{};
+    std::array<float, kHidden> b1{};
+    std::array<std::array<float, kHidden>, kHidden> w2{};
+    std::array<float, kHidden> b2{};
+    std::array<float, kHidden> w3{};
+    float b3 = 0;
+
+    struct Activations
+    {
+        std::array<float, kHidden> h1;
+        std::array<float, kHidden> h2;
+        float out;
+    };
+
+    Activations forward(float x0, float x1) const;
+
+    static float normHarvest(float mw) { return mw / 30.0f; }
+    static float normVolts(float v) { return (v - 1.8f) / 0.6f; }
+};
+
+} // namespace nvmr
+
+#endif // NVMR_POWER_SPENDTHRIFT_HH

@@ -1,0 +1,205 @@
+#include "power/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+
+namespace nvmr
+{
+
+HarvestTrace::HarvestTrace(TraceKind kind, uint64_t seed, double mean_mw,
+                           size_t samples)
+{
+    fatal_if(samples == 0, "empty harvest trace");
+    samplesMw.resize(samples);
+    XorShift rng(seed);
+
+    switch (kind) {
+      case TraceKind::Rf: {
+        // Quiet floor with exponential-ish bursts: burst arrival every
+        // 50..400 ms, burst length 5..80 ms, amplitude 4..8x mean.
+        _name = "rf/" + std::to_string(seed);
+        double floor_mw = mean_mw * 0.15;
+        size_t i = 0;
+        while (i < samples) {
+            size_t quiet = static_cast<size_t>(rng.range(50, 400));
+            for (size_t q = 0; q < quiet && i < samples; ++q, ++i)
+                samplesMw[i] = floor_mw * (0.8 + 0.4 * rng.uniform());
+            size_t burst = static_cast<size_t>(rng.range(5, 80));
+            double amp = mean_mw * (4.0 + 4.0 * rng.uniform());
+            for (size_t b = 0; b < burst && i < samples; ++b, ++i)
+                samplesMw[i] = amp * (0.85 + 0.3 * rng.uniform());
+        }
+        break;
+      }
+      case TraceKind::Solar: {
+        // Slow sinusoidal irradiance with random cloud attenuation.
+        _name = "solar/" + std::to_string(seed);
+        double phase = rng.uniform() * 6.28318;
+        double cloud = 1.0;
+        for (size_t i = 0; i < samples; ++i) {
+            if (i % 250 == 0) { // re-roll clouds every 250 ms
+                double r = rng.uniform();
+                cloud = r < 0.25 ? 0.25 + 0.5 * rng.uniform() : 1.0;
+            }
+            double s = 1.0 + 0.5 * std::sin(phase + i * 0.0009);
+            samplesMw[i] = std::max(0.0, mean_mw * s * cloud);
+        }
+        break;
+      }
+      case TraceKind::Wind: {
+        // Bounded random walk between 0 and 3x mean.
+        _name = "wind/" + std::to_string(seed);
+        double level = mean_mw;
+        for (size_t i = 0; i < samples; ++i) {
+            level += (rng.uniform() - 0.5) * mean_mw * 0.2;
+            level = std::clamp(level, 0.0, mean_mw * 3.0);
+            samplesMw[i] = level;
+        }
+        break;
+      }
+    }
+
+    // Overlay hard outages: ambient sources disappear entirely for
+    // stretches (an RF reader moves away, a cloud bank, calm air).
+    // These are what actually kill the device and force restores.
+    XorShift outage_rng(seed ^ 0xdeadfeedu);
+    size_t t = static_cast<size_t>(outage_rng.range(50, 700));
+    while (t < samples) {
+        size_t len = static_cast<size_t>(outage_rng.range(200, 800));
+        for (size_t i = t; i < t + len && i < samples; ++i)
+            samplesMw[i] = 0.0;
+        t += len + static_cast<size_t>(outage_rng.range(300, 1500));
+    }
+
+    computeMean();
+}
+
+void
+HarvestTrace::computeMean()
+{
+    double sum = 0;
+    for (double s : samplesMw)
+        sum += s;
+    _meanMw = samplesMw.empty()
+                  ? 0.0
+                  : sum / static_cast<double>(samplesMw.size());
+}
+
+HarvestTrace
+HarvestTrace::fromSamples(std::string name,
+                          std::vector<double> samples_mw)
+{
+    fatal_if(samples_mw.empty(), "empty harvest trace '", name, "'");
+    for (double s : samples_mw)
+        fatal_if(s < 0, "negative power sample in trace '", name,
+                 "'");
+    HarvestTrace t;
+    t._name = std::move(name);
+    t.samplesMw = std::move(samples_mw);
+    t.computeMean();
+    return t;
+}
+
+HarvestTrace
+HarvestTrace::fromCsvFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatal_if(!in, "cannot open trace file '", path, "'");
+    std::vector<double> samples;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos || line[b] == '#')
+            continue;
+        char *end = nullptr;
+        double v = std::strtod(line.c_str() + b, &end);
+        fatal_if(end == line.c_str() + b, path, ":", line_no,
+                 ": not a number: '", line, "'");
+        fatal_if(v < 0, path, ":", line_no, ": negative power");
+        samples.push_back(v);
+    }
+    return fromSamples(path, std::move(samples));
+}
+
+void
+HarvestTrace::toCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    fatal_if(!out, "cannot write trace file '", path, "'");
+    out << "# harvest trace '" << _name << "', 1 kHz samples, mW\n";
+    out.precision(17); // round-trip exactly
+    for (double s : samplesMw)
+        out << s << "\n";
+}
+
+double
+HarvestTrace::powerMwAtCycle(Cycles cycle) const
+{
+    size_t idx = static_cast<size_t>(cycle / cyclesPerSample) %
+                 samplesMw.size();
+    return samplesMw[idx];
+}
+
+NanoJoules
+HarvestTrace::harvestedNj(Cycles from, Cycles n) const
+{
+    // 1 mW over one 8 MHz cycle (125 ns) is 0.125 nJ.
+    constexpr double kNjPerMwCycle = 0.125;
+    // Integrate sample-by-sample; intervals are usually tiny.
+    NanoJoules total = 0;
+    Cycles c = from;
+    Cycles remaining = n;
+    while (remaining > 0) {
+        Cycles in_sample =
+            cyclesPerSample - (c % cyclesPerSample);
+        Cycles take = std::min(in_sample, remaining);
+        total += powerMwAtCycle(c) * kNjPerMwCycle *
+                 static_cast<double>(take);
+        c += take;
+        remaining -= take;
+    }
+    return total;
+}
+
+std::vector<HarvestTrace>
+HarvestTrace::standardSet(int n)
+{
+    std::vector<HarvestTrace> traces;
+    for (int i = 0; i < n; ++i) {
+        TraceKind kind = static_cast<TraceKind>(i % 3);
+        double mean = 6.0 + 2.0 * (i % 4); // 6..12 mW
+        traces.emplace_back(kind, 1000 + i * 77, mean);
+    }
+    return traces;
+}
+
+std::vector<HarvestTrace>
+HarvestTrace::trainingSet()
+{
+    std::vector<HarvestTrace> traces;
+    for (int i = 0; i < 7; ++i) {
+        TraceKind kind = static_cast<TraceKind>(i % 3);
+        traces.emplace_back(kind, 5000 + i * 131, 6.0 + 2.0 * (i % 4));
+    }
+    return traces;
+}
+
+std::vector<HarvestTrace>
+HarvestTrace::testSet()
+{
+    std::vector<HarvestTrace> traces;
+    for (int i = 0; i < 3; ++i) {
+        TraceKind kind = static_cast<TraceKind>(i % 3);
+        traces.emplace_back(kind, 9000 + i * 53, 7.0 + 2.0 * i);
+    }
+    return traces;
+}
+
+} // namespace nvmr

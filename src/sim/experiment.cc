@@ -1,0 +1,186 @@
+#include "sim/experiment.hh"
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+#include "workloads/workloads.hh"
+
+namespace nvmr
+{
+
+std::vector<RunResult>
+runOnTraces(const Program &prog, ArchKind arch, const SystemConfig &cfg,
+            const PolicySpec &policy,
+            const std::vector<HarvestTrace> &traces, RunOptions opts)
+{
+    std::vector<RunResult> results;
+    results.reserve(traces.size());
+    for (const HarvestTrace &trace : traces) {
+        auto pol = makePolicy(policy);
+        Simulator sim(prog, arch, cfg, *pol, trace, opts);
+        results.push_back(sim.run());
+    }
+    return results;
+}
+
+Aggregate
+aggregate(const std::vector<RunResult> &runs)
+{
+    Aggregate agg;
+    if (runs.empty())
+        return agg;
+    for (const RunResult &r : runs) {
+        ++agg.runs;
+        agg.allCompleted = agg.allCompleted && r.completed;
+        agg.allValidated = agg.allValidated && r.validated;
+        agg.totalEnergyNj += r.totalEnergyNj;
+        for (size_t i = 0; i < kNumECats; ++i)
+            agg.energy[i] += r.energy[i];
+        agg.backups += static_cast<double>(r.backups);
+        agg.violations += static_cast<double>(r.violations);
+        agg.renames += static_cast<double>(r.renames);
+        agg.reclaims += static_cast<double>(r.reclaims);
+        agg.restores += static_cast<double>(r.restores);
+        agg.powerFailures += static_cast<double>(r.powerFailures);
+        agg.instructions += static_cast<double>(r.instructions);
+        agg.nvmWrites += static_cast<double>(r.nvmWrites);
+        agg.maxWear += static_cast<double>(r.maxWear);
+    }
+    double n = agg.runs;
+    agg.totalEnergyNj /= n;
+    for (auto &e : agg.energy)
+        e /= n;
+    agg.backups /= n;
+    agg.violations /= n;
+    agg.renames /= n;
+    agg.reclaims /= n;
+    agg.restores /= n;
+    agg.powerFailures /= n;
+    agg.instructions /= n;
+    agg.nvmWrites /= n;
+    agg.maxWear /= n;
+    return agg;
+}
+
+Aggregate
+runAveraged(const Program &prog, ArchKind arch, const SystemConfig &cfg,
+            const PolicySpec &policy,
+            const std::vector<HarvestTrace> &traces, RunOptions opts)
+{
+    return aggregate(
+        runOnTraces(prog, arch, cfg, policy, traces, opts));
+}
+
+double
+percentSaved(const Aggregate &baseline, const Aggregate &subject)
+{
+    if (baseline.totalEnergyNj <= 0)
+        return 0.0;
+    return (1.0 - subject.totalEnergyNj / baseline.totalEnergyNj) *
+           100.0;
+}
+
+// ----------------------------------------------------------------------
+// Spendthrift training
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** JIT oracle that records labelled (harvest, voltage) samples. */
+class RecordingJitPolicy : public JitPolicy
+{
+  public:
+    RecordingJitPolicy(std::vector<SpendthriftSample> &samples,
+                       Cycles poll_period = 64)
+        : out(samples), pollPeriod(poll_period)
+    {}
+
+    bool
+    shouldBackup(const PolicyContext &ctx) override
+    {
+        bool fire = JitPolicy::shouldBackup(ctx);
+        if (ctx.activeCycles >= lastPoll + pollPeriod) {
+            lastPoll = ctx.activeCycles;
+            out.push_back({static_cast<float>(ctx.harvestMw),
+                           static_cast<float>(ctx.cap.voltage()),
+                           fire ? 1.0f : 0.0f});
+        }
+        return fire;
+    }
+
+    void reset() override { lastPoll = 0; }
+
+  private:
+    std::vector<SpendthriftSample> &out;
+    Cycles pollPeriod;
+    Cycles lastPoll = 0;
+};
+
+std::vector<SpendthriftSample>
+collectSamples(ArchKind arch, const SystemConfig &cfg,
+               const std::vector<std::string> &workload_names,
+               const std::vector<HarvestTrace> &traces)
+{
+    std::vector<SpendthriftSample> samples;
+    for (const std::string &name : workload_names) {
+        Program prog = assembleWorkload(name);
+        for (const HarvestTrace &trace : traces) {
+            RecordingJitPolicy policy(samples);
+            RunOptions opts;
+            opts.validate = false;
+            Simulator sim(prog, arch, cfg, policy, trace, opts);
+            sim.run();
+        }
+    }
+    return samples;
+}
+
+/** Duplicate positive samples until they are ~1/4 of the set (JIT
+ *  fires are rare, and an unbalanced set trains an always-no
+ *  predictor). */
+void
+balance(std::vector<SpendthriftSample> &samples)
+{
+    size_t positives = 0;
+    for (const auto &s : samples)
+        positives += s.label > 0.5f;
+    if (positives == 0)
+        return;
+    std::vector<SpendthriftSample> pos;
+    for (const auto &s : samples)
+        if (s.label > 0.5f)
+            pos.push_back(s);
+    while (positives * 4 < samples.size()) {
+        for (const auto &s : pos) {
+            samples.push_back(s);
+            ++positives;
+            if (positives * 4 >= samples.size())
+                break;
+        }
+    }
+}
+
+} // namespace
+
+SpendthriftModel
+trainSpendthriftModel(ArchKind arch, const SystemConfig &cfg,
+                      const std::vector<std::string> &workload_names,
+                      double *test_accuracy)
+{
+    auto train_samples = collectSamples(arch, cfg, workload_names,
+                                        HarvestTrace::trainingSet());
+    fatal_if(train_samples.empty(), "no spendthrift training samples");
+    balance(train_samples);
+
+    SpendthriftModel model;
+    model.train(train_samples);
+
+    if (test_accuracy) {
+        auto test_samples = collectSamples(
+            arch, cfg, workload_names, HarvestTrace::testSet());
+        *test_accuracy = model.accuracy(test_samples);
+    }
+    return model;
+}
+
+} // namespace nvmr

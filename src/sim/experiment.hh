@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment harness: run a workload across a trace set, aggregate
+ * the results (the paper averages across 10 voltage traces), compute
+ * percent-energy-saved comparisons, and train the Spendthrift model
+ * from JIT-oracle runs.
+ */
+
+#ifndef NVMR_SIM_EXPERIMENT_HH
+#define NVMR_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "power/policy.hh"
+#include "power/spendthrift.hh"
+#include "power/trace.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** Trace-averaged results of one (program, arch, policy) cell. */
+struct Aggregate
+{
+    int runs = 0;
+    bool allCompleted = true;
+    bool allValidated = true;
+
+    NanoJoules totalEnergyNj = 0; ///< mean across traces
+    std::array<NanoJoules, kNumECats> energy{};
+
+    double backups = 0;
+    double violations = 0;
+    double renames = 0;
+    double reclaims = 0;
+    double restores = 0;
+    double powerFailures = 0;
+    double instructions = 0;
+    double nvmWrites = 0;
+    double maxWear = 0;
+
+    NanoJoules energyOf(ECat cat) const
+    {
+        return energy[static_cast<size_t>(cat)];
+    }
+};
+
+/** Run one cell across every trace in the set. */
+std::vector<RunResult> runOnTraces(
+    const Program &prog, ArchKind arch, const SystemConfig &cfg,
+    const PolicySpec &policy, const std::vector<HarvestTrace> &traces,
+    RunOptions opts = {});
+
+/** Average a set of runs. */
+Aggregate aggregate(const std::vector<RunResult> &runs);
+
+/** Convenience: runOnTraces + aggregate. */
+Aggregate runAveraged(const Program &prog, ArchKind arch,
+                      const SystemConfig &cfg, const PolicySpec &policy,
+                      const std::vector<HarvestTrace> &traces,
+                      RunOptions opts = {});
+
+/** Percent energy saved by `subject` relative to `baseline`. */
+double percentSaved(const Aggregate &baseline,
+                    const Aggregate &subject);
+
+/**
+ * Train a Spendthrift model for one architecture (the paper trains
+ * one per architecture): run the named workloads under the JIT oracle
+ * on the 7 training traces, collect (harvest, voltage, fire) samples,
+ * balance, train, and report held-out accuracy on the 3 test traces.
+ *
+ * @param test_accuracy Optional out-param for held-out accuracy.
+ */
+SpendthriftModel trainSpendthriftModel(
+    ArchKind arch, const SystemConfig &cfg,
+    const std::vector<std::string> &workload_names,
+    double *test_accuracy = nullptr);
+
+} // namespace nvmr
+
+#endif // NVMR_SIM_EXPERIMENT_HH

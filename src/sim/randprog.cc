@@ -1,0 +1,88 @@
+#include "sim/randprog.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+
+namespace nvmr
+{
+
+std::string
+makeRandomProgram(uint64_t seed, const RandProgParams &params)
+{
+    fatal_if(params.arrayWords == 0, "empty random-program array");
+    fatal_if((params.arrayWords & (params.arrayWords - 1)) != 0,
+             "arrayWords must be a power of two (used as an address "
+             "mask)");
+    XorShift rng(seed);
+    std::ostringstream os;
+
+    const int64_t max_word = params.arrayWords - 1;
+    const int64_t max_byte = params.arrayWords * 4 - 1;
+
+    os << "        .data\n";
+    os << "arr:    .rand " << params.arrayWords << " "
+       << (seed * 7 + 1) << " 0 65535\n";
+    os << "        .text\n";
+    os << "main:\n";
+    os << "        li   r1, arr\n";
+    os << "        li   r2, "
+       << rng.range(params.minIterations, params.maxIterations)
+       << "   # outer iterations\n";
+    os << "        li   r3, 0\n";
+    os << "        li   r4, 1\n";
+    os << "outer:\n";
+
+    int body = static_cast<int>(
+        rng.range(params.minBodyOps, params.maxBodyOps));
+    for (int i = 0; i < body; ++i) {
+        int off = static_cast<int>(rng.range(0, max_word)) * 4;
+        switch (rng.range(0, 7)) {
+          case 0:
+            os << "        ld   r3, " << off << "(r1)\n";
+            break;
+          case 1:
+            os << "        st   r3, " << off << "(r1)\n";
+            break;
+          case 2:
+            os << "        st   r4, " << off << "(r1)\n";
+            break;
+          case 3: // read-modify-write
+            os << "        ld   r5, " << off << "(r1)\n";
+            os << "        addi r5, r5, " << rng.range(-9, 9) << "\n";
+            os << "        st   r5, " << off << "(r1)\n";
+            break;
+          case 4: // loop-varying address: arr[(i*4 + k) & mask]
+            os << "        slli r6, r2, 2\n";
+            os << "        addi r6, r6, " << rng.range(0, max_word)
+               << "\n";
+            os << "        andi r6, r6, " << max_word << "\n";
+            os << "        slli r6, r6, 2\n";
+            os << "        add  r6, r6, r1\n";
+            if (rng.range(0, 1))
+                os << "        ld   r4, 0(r6)\n";
+            else
+                os << "        st   r4, 0(r6)\n";
+            break;
+          case 5: // byte traffic
+            os << "        ldb  r5, " << rng.range(0, max_byte)
+               << "(r1)\n";
+            os << "        stb  r5, " << rng.range(0, max_byte)
+               << "(r1)\n";
+            break;
+          case 6:
+            os << "        add  r4, r4, r3\n";
+            break;
+          default:
+            os << "        xor  r3, r3, r4\n";
+            break;
+        }
+    }
+    os << "        addi r2, r2, -1\n";
+    os << "        bne  r2, r0, outer\n";
+    os << "        halt\n";
+    return os.str();
+}
+
+} // namespace nvmr

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Random program generation for differential testing: bounded-loop
+ * programs mixing loads, stores, read-modify-writes, loop-varying
+ * addresses, byte traffic and arithmetic over a seeded data array.
+ * Used by the intermittent-correctness property suite and the
+ * nvmr_fuzz tool.
+ */
+
+#ifndef NVMR_SIM_RANDPROG_HH
+#define NVMR_SIM_RANDPROG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nvmr
+{
+
+/** Tuning knobs for generated programs. */
+struct RandProgParams
+{
+    /** Words in the data array (addresses wrap inside it). */
+    uint32_t arrayWords = 256;
+
+    /** Outer-loop iteration range. */
+    uint32_t minIterations = 20;
+    uint32_t maxIterations = 60;
+
+    /** Random operations per loop body. */
+    uint32_t minBodyOps = 15;
+    uint32_t maxBodyOps = 40;
+};
+
+/**
+ * Generate a deterministic random iisa program. The same seed always
+ * yields the same source (and the same `.rand` data contents).
+ */
+std::string makeRandomProgram(uint64_t seed,
+                              const RandProgParams &params = {});
+
+} // namespace nvmr
+
+#endif // NVMR_SIM_RANDPROG_HH

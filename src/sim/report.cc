@@ -1,0 +1,94 @@
+#include "sim/report.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nvmr
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatEnergyBreakdown(const RunResult &r)
+{
+    std::ostringstream os;
+    double total = r.totalEnergyNj > 0 ? r.totalEnergyNj : 1.0;
+    for (size_t i = 0; i < kNumECats; ++i) {
+        ECat cat = static_cast<ECat>(i);
+        if (r.energyOf(cat) <= 0)
+            continue;
+        os << "    " << ecatName(cat) << ": "
+           << fmt("%.1f", r.energyOf(cat) / 1000.0) << " uJ ("
+           << fmt("%.1f", r.energyOf(cat) / total * 100.0) << "%)\n";
+    }
+    return os.str();
+}
+
+std::string
+formatRunReport(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "run: " << r.program << " on " << r.arch << " / "
+       << r.policy << " / " << r.trace << "\n";
+    os << "  status: "
+       << (r.completed ? "completed" : "DID NOT COMPLETE");
+    if (r.completed) {
+        if (!r.validationChecked)
+            os << ", validation skipped";
+        else
+            os << (r.validated ? ", validated against continuous run"
+                               : ", VALIDATION FAILED");
+    }
+    os << "\n";
+    os << "  instructions: " << r.instructions
+       << " (incl. re-execution), active cycles: " << r.activeCycles
+       << ", wall cycles: " << r.totalCycles << "\n";
+    os << "  power failures: " << r.powerFailures
+       << ", restores: " << r.restores << "\n";
+    os << "  violations: " << r.violations
+       << ", renames: " << r.renames << ", reclaims: " << r.reclaims
+       << "\n";
+    os << "  backups: " << r.backups << "\n";
+    for (size_t i = 0; i < kNumBackupReasons; ++i) {
+        if (r.backupsByReason[i] == 0)
+            continue;
+        os << "    " << backupReasonName(static_cast<BackupReason>(i))
+           << ": " << r.backupsByReason[i] << "\n";
+    }
+    os << "  NVM: " << r.nvmReads << " reads, " << r.nvmWrites
+       << " writes, max wear " << r.maxWear << "\n";
+    os << "  cache: " << r.cacheHits << " hits, " << r.cacheMisses
+       << " misses\n";
+    os << "  energy: " << fmt("%.1f", r.totalEnergyNj / 1000.0)
+       << " uJ total\n";
+    os << formatEnergyBreakdown(r);
+    return os.str();
+}
+
+std::string
+formatRunLine(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.program << "/" << r.arch << "/" << r.policy << ": "
+       << fmt("%.1f", r.totalEnergyNj / 1000.0) << " uJ, "
+       << r.backups << " backups, " << r.powerFailures
+       << " failures"
+       << (r.completed ? "" : " [INCOMPLETE]")
+       << (r.completed && r.validationChecked && !r.validated
+               ? " [INVALID]"
+               : "");
+    return os.str();
+}
+
+} // namespace nvmr

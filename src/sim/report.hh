@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Human-readable reporting of run results: a full per-run report
+ * (energy breakdown, backup reasons, structure stats) and compact
+ * one-line summaries for sweep output. Used by the CLI driver, the
+ * examples and the experiment harnesses.
+ */
+
+#ifndef NVMR_SIM_REPORT_HH
+#define NVMR_SIM_REPORT_HH
+
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** Render a full multi-line report of one run. */
+std::string formatRunReport(const RunResult &result);
+
+/** One-line summary: program/arch/policy, energy, backups, status. */
+std::string formatRunLine(const RunResult &result);
+
+/** Render the energy breakdown as percentage shares. */
+std::string formatEnergyBreakdown(const RunResult &result);
+
+} // namespace nvmr
+
+#endif // NVMR_SIM_REPORT_HH

@@ -1,0 +1,446 @@
+#include "sim/simulator.hh"
+
+#include "arch/clank.hh"
+#include "arch/clank_original.hh"
+#include "arch/hoop.hh"
+#include "arch/ideal.hh"
+#include "arch/task.hh"
+#include "common/log.hh"
+#include "core/nvmr_arch.hh"
+
+namespace nvmr
+{
+
+// ----------------------------------------------------------------------
+// Golden (continuous) execution
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** Flat, energy-free memory for continuously-powered runs. */
+class DirectPort : public DataPort
+{
+  public:
+    explicit DirectPort(uint32_t size_bytes) : mem(size_bytes, 0) {}
+
+    void
+    loadImage(const std::vector<uint8_t> &image)
+    {
+        panic_if(image.size() > mem.size(), "image too large");
+        std::copy(image.begin(), image.end(), mem.begin());
+    }
+
+    Word
+    loadWord(Addr addr) override
+    {
+        check(addr, kWordBytes);
+        Word w = 0;
+        for (unsigned i = 0; i < kWordBytes; ++i)
+            w |= static_cast<Word>(mem[addr + i]) << (8 * i);
+        return w;
+    }
+
+    void
+    storeWord(Addr addr, Word value) override
+    {
+        check(addr, kWordBytes);
+        for (unsigned i = 0; i < kWordBytes; ++i)
+            mem[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+
+    uint8_t
+    loadByte(Addr addr) override
+    {
+        check(addr, 1);
+        return mem[addr];
+    }
+
+    void
+    storeByte(Addr addr, uint8_t value) override
+    {
+        check(addr, 1);
+        mem[addr] = value;
+    }
+
+    const std::vector<uint8_t> &bytes() const { return mem; }
+
+  private:
+    std::vector<uint8_t> mem;
+
+    void
+    check(Addr addr, uint32_t n) const
+    {
+        panic_if(addr + n > mem.size(),
+                 "golden run access out of range: ", addr);
+    }
+};
+
+} // namespace
+
+GoldenResult
+runContinuous(const Program &prog, uint64_t max_instructions)
+{
+    // Size the flat memory generously past the data segment so the
+    // program can use scratch space above its static data, matching
+    // the intermittent runs (which have the whole application region
+    // of NVM available).
+    uint32_t size = std::max<uint32_t>(prog.dataSize() + 4096, 65536);
+    DirectPort port(size);
+    port.loadImage(prog.data);
+    Cpu cpu(prog, port);
+
+    GoldenResult result;
+    while (!cpu.halted() && result.instructions < max_instructions) {
+        cpu.step();
+        ++result.instructions;
+    }
+    result.halted = cpu.halted();
+    result.data = port.bytes();
+    return result;
+}
+
+std::unique_ptr<IntermittentArch>
+makeArch(ArchKind kind, const SystemConfig &cfg, Nvm &nvm,
+         EnergySink &sink)
+{
+    switch (kind) {
+      case ArchKind::Ideal:
+        return std::make_unique<IdealArch>(cfg, nvm, sink);
+      case ArchKind::Clank:
+        return std::make_unique<ClankArch>(cfg, nvm, sink);
+      case ArchKind::ClankOriginal:
+        return std::make_unique<ClankOriginalArch>(cfg, nvm, sink);
+      case ArchKind::Task:
+        return std::make_unique<TaskArch>(cfg, nvm, sink);
+      case ArchKind::Nvmr:
+        return std::make_unique<NvmrArch>(cfg, nvm, sink);
+      case ArchKind::Hoop:
+        return std::make_unique<HoopArch>(cfg, nvm, sink);
+      default:
+        panic("bad arch kind");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simulator
+// ----------------------------------------------------------------------
+
+Simulator::Simulator(const Program &prog, ArchKind arch_kind,
+                     const SystemConfig &config, BackupPolicy &pol,
+                     const HarvestTrace &harvest, RunOptions options)
+    : program(prog), cfg(config), policy(pol), trace(harvest),
+      opts(options),
+      cap(config.capacitorFarads, config.vMax, config.vOn,
+          config.vOff, config.capScale, config.capExponent),
+      nvm(config.nvmBytes, config.tech, *this),
+      arch(makeArch(arch_kind, config, nvm, *this)),
+      cpu(prog, *arch)
+{
+    arch->attachHost(this);
+    chargesMtLeak = dynamic_cast<NvmrArch *>(arch.get()) != nullptr;
+    cap.setVoltage(opts.initialVoltage > 0 ? opts.initialVoltage
+                                           : cap.vOnVolts());
+}
+
+// ----------------------------------------------------------------------
+// Energy sink
+// ----------------------------------------------------------------------
+
+ECat
+Simulator::categoryFor(bool overhead) const
+{
+    switch (mode) {
+      case EMode::Execute:
+        return overhead ? ECat::ForwardOverhead : ECat::Forward;
+      case EMode::Backup:
+        return overhead ? ECat::BackupOverhead : ECat::Backup;
+      case EMode::Restore:
+        return overhead ? ECat::RestoreOverhead : ECat::Restore;
+      case EMode::Reclaim:
+        return ECat::Reclaim;
+      default:
+        panic("bad energy mode");
+    }
+}
+
+void
+Simulator::applyEnergy(NanoJoules nj, bool overhead)
+{
+    cap.drainNj(nj);
+    ECat cat = categoryFor(overhead);
+    if (mode == EMode::Execute)
+        account.spendPending(cat, nj);
+    else
+        account.spendCommitted(cat, nj);
+    checkBrownout();
+}
+
+void
+Simulator::checkBrownout()
+{
+    if (!cap.dead())
+        return;
+    panic_if(inAtomic,
+             "brown-out inside an atomic operation: a cost estimate "
+             "is too low");
+    throw PowerFailure{};
+}
+
+void
+Simulator::consume(NanoJoules nj)
+{
+    applyEnergy(nj, false);
+}
+
+void
+Simulator::consumeOverhead(NanoJoules nj)
+{
+    applyEnergy(nj, true);
+}
+
+void
+Simulator::addCycles(Cycles n)
+{
+    if (n == 0)
+        return;
+    cap.harvestNj(trace.harvestedNj(totalCycles, n));
+    totalCycles += n;
+    activeCycles += n;
+    double dn = static_cast<double>(n);
+    applyEnergy(dn * (cfg.tech.cpuCycleNj + cfg.tech.leakNjPerCycle),
+                false);
+    if (chargesMtLeak)
+        applyEnergy(dn * cfg.tech.mtCacheLeakNjPerCycle, true);
+}
+
+// ----------------------------------------------------------------------
+// Backup orchestration
+// ----------------------------------------------------------------------
+
+void
+Simulator::requestBackup(BackupReason reason)
+{
+    NanoJoules cost = arch->backupCostNowNj();
+    if (cap.usableNj() < cost)
+        throw PowerFailure{}; // cannot afford the backup: die instead
+
+    EMode saved = mode;
+    mode = EMode::Backup;
+    inAtomic = true;
+    arch->performBackup(cpu.snapshot(), reason);
+    account.commitPending();
+    inAtomic = false;
+
+    // Post-backup work (NvMR reclamation) is crash-safe per entry and
+    // therefore runs outside the atomic section.
+    mode = EMode::Reclaim;
+    arch->postBackup(reason);
+
+    mode = saved;
+    lastBackupActive = activeCycles;
+    if (observer)
+        observer->onBackup(reason, activeCycles);
+}
+
+void
+Simulator::hibernate()
+{
+    // JIT-style policies stop executing after their backup and wait
+    // for the supply to recover or die. Volatile state is retained
+    // while the capacitor stays above the brown-out voltage.
+    if (observer)
+        observer->onHibernate(activeCycles);
+    while (true) {
+        Cycles step = HarvestTrace::cyclesPerSample;
+        cap.harvestNj(trace.harvestedNj(totalCycles, step));
+        totalCycles += step;
+        NanoJoules leak = static_cast<double>(step) *
+                          cfg.tech.hibernateLeakNjPerCycle;
+        cap.drainNj(leak);
+        account.spendCommitted(ECat::Forward, leak);
+        if (cap.dead())
+            throw PowerFailure{}; // pending is empty: no dead energy
+        if (cap.voltage() >= cap.vOnVolts()) {
+            if (observer)
+                observer->onWake(activeCycles);
+            return; // supply recovered; resume execution
+        }
+        if (totalCycles > opts.maxCycles)
+            return; // give up; the main loop stops the run
+    }
+}
+
+void
+Simulator::waitForRecharge(NanoJoules need_nj)
+{
+    // A restore that costs more than a full capacitor can ever hold
+    // (e.g. a HOOP redo log oversized for the platform) will never
+    // become affordable: end the run instead of waiting forever.
+    Capacitor full(cfg.capacitorFarads, cfg.vMax, cfg.vOn, cfg.vOff,
+                   cfg.capScale, cfg.capExponent);
+    full.setVoltage(cfg.vMax);
+    if (need_nj > full.usableNj()) {
+        warn("restore cost ", need_nj,
+             " nJ exceeds a full capacitor (", full.usableNj(),
+             " nJ); device cannot recover -- size the NVM "
+             "structures to the capacitor");
+        totalCycles = opts.maxCycles + 1;
+        return;
+    }
+    while (totalCycles <= opts.maxCycles) {
+        Cycles step = HarvestTrace::cyclesPerSample;
+        cap.harvestNj(trace.harvestedNj(totalCycles, step));
+        totalCycles += step;
+        if (cap.canTurnOn() && cap.usableNj() >= need_nj)
+            return;
+    }
+}
+
+void
+Simulator::handlePowerFailure()
+{
+    mode = EMode::Execute;
+    inAtomic = false;
+    account.pendingToDead();
+    arch->onPowerFail();
+    if (observer)
+        observer->onPowerFailure(activeCycles);
+
+    waitForRecharge(arch->restoreCostNowNj() * 1.2 + 100.0);
+    if (totalCycles > opts.maxCycles)
+        return; // never recharged; run() reports incompletion
+
+    mode = EMode::Restore;
+    inAtomic = true;
+    CpuSnapshot snap = arch->performRestore();
+    inAtomic = false;
+    mode = EMode::Execute;
+    cpu.restore(snap);
+    lastBackupActive = activeCycles;
+    resumeActive = activeCycles;
+    if (observer)
+        observer->onRestore(activeCycles);
+}
+
+void
+Simulator::maybePolicyBackup()
+{
+    PolicyContext ctx{cap,
+                      activeCycles,
+                      activeCycles - lastBackupActive,
+                      activeCycles - resumeActive,
+                      arch->backupCostNowNj(),
+                      trace.powerMwAtCycle(totalCycles)};
+    if (!policy.shouldBackup(ctx))
+        return;
+    requestBackup(BackupReason::Policy);
+    if (policy.hibernateAfterBackup())
+        hibernate();
+}
+
+// ----------------------------------------------------------------------
+// Main loop
+// ----------------------------------------------------------------------
+
+RunResult
+Simulator::run()
+{
+    policy.reset();
+    cpu.reset();
+    arch->initialize(program);
+
+    bool completed = false;
+    try {
+        requestBackup(BackupReason::Initial);
+    } catch (PowerFailure &) {
+        handlePowerFailure();
+    }
+
+    while (totalCycles <= opts.maxCycles) {
+        try {
+            StepResult sr = cpu.step();
+            addCycles(sr.cycles);
+            if (sr.halted) {
+                requestBackup(BackupReason::Final);
+                completed = true;
+                break;
+            }
+            maybePolicyBackup();
+        } catch (PowerFailure &) {
+            handlePowerFailure();
+            if (totalCycles > opts.maxCycles)
+                break;
+            if (!arch->hasPersistedState())
+                panic("power failed before any backup persisted");
+        }
+    }
+
+    bool validated = false;
+    bool checked = false;
+    if (completed && opts.validate) {
+        GoldenResult golden = runContinuous(program);
+        panic_if(!golden.halted, "golden run did not halt");
+        validated = validateAgainstGolden(golden);
+        checked = true;
+    }
+    RunResult result = makeResult(completed, validated);
+    result.validationChecked = checked;
+    return result;
+}
+
+bool
+Simulator::validateAgainstGolden(const GoldenResult &golden) const
+{
+    // Compare every word of the application data segment, reading
+    // through the architecture's latest mapping.
+    uint32_t words = static_cast<uint32_t>(program.data.size()) /
+                     kWordBytes;
+    for (uint32_t w = 0; w < words; ++w) {
+        Addr addr = w * kWordBytes;
+        Word expect = 0;
+        for (unsigned i = 0; i < kWordBytes; ++i)
+            expect |= static_cast<Word>(golden.data[addr + i])
+                      << (8 * i);
+        if (arch->inspectWord(addr) != expect)
+            return false;
+    }
+    return true;
+}
+
+RunResult
+Simulator::makeResult(bool completed, bool validated) const
+{
+    RunResult r;
+    r.program = program.name;
+    r.arch = arch->name();
+    r.policy = policy.name();
+    r.trace = trace.name();
+    r.completed = completed;
+    r.validated = validated;
+    r.activeCycles = activeCycles;
+    r.totalCycles = totalCycles;
+    r.instructions = cpu.instret();
+
+    for (size_t i = 0; i < kNumECats; ++i)
+        r.energy[i] = account.total(static_cast<ECat>(i));
+    r.totalEnergyNj = account.grandTotal();
+
+    const ArchStats &s = arch->stats();
+    r.backups = static_cast<uint64_t>(s.backups.value());
+    r.backupsByReason = s.backupsByReason;
+    r.violations = static_cast<uint64_t>(s.violations.value());
+    r.renames = static_cast<uint64_t>(s.renames.value());
+    r.reclaims = static_cast<uint64_t>(s.reclaims.value());
+    r.restores = static_cast<uint64_t>(s.restores.value());
+    r.powerFailures = static_cast<uint64_t>(s.powerFailures.value());
+
+    r.nvmReads = nvm.totalReads();
+    r.nvmWrites = nvm.totalWrites();
+    r.maxWear = nvm.maxWear();
+    r.cacheHits = arch->dataCache().hits();
+    r.cacheMisses = arch->dataCache().misses();
+    return r;
+}
+
+} // namespace nvmr

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The intermittent-execution simulator: couples the CPU, an
+ * intermittent architecture, the supercapacitor + harvest trace, and
+ * a backup policy; runs the program across power failures with
+ * restore and re-execution; accounts energy by category; and
+ * validates the final NVM state against a continuously-powered run.
+ */
+
+#ifndef NVMR_SIM_SIMULATOR_HH
+#define NVMR_SIM_SIMULATOR_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hh"
+#include "cpu/cpu.hh"
+#include "power/capacitor.hh"
+#include "power/energy.hh"
+#include "power/policy.hh"
+#include "power/trace.hh"
+#include "sim/config.hh"
+
+namespace nvmr
+{
+
+/** Everything a run produces. */
+struct RunResult
+{
+    std::string program;
+    std::string arch;
+    std::string policy;
+    std::string trace;
+
+    bool completed = false;  ///< program halted within maxCycles
+    bool validated = false;  ///< final NVM state matched golden run
+    bool validationChecked = false; ///< golden comparison was run
+
+    uint64_t activeCycles = 0;  ///< cycles spent powered on
+    uint64_t totalCycles = 0;   ///< including off/recharge time
+    uint64_t instructions = 0;  ///< executed, including re-execution
+
+    std::array<NanoJoules, kNumECats> energy{};
+    NanoJoules totalEnergyNj = 0;
+
+    uint64_t backups = 0;
+    std::array<uint64_t, kNumBackupReasons> backupsByReason{};
+    uint64_t violations = 0;
+    uint64_t renames = 0;
+    uint64_t reclaims = 0;
+    uint64_t restores = 0;
+    uint64_t powerFailures = 0;
+
+    uint64_t nvmReads = 0;
+    uint64_t nvmWrites = 0;
+    uint64_t maxWear = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+
+    NanoJoules energyOf(ECat cat) const
+    {
+        return energy[static_cast<size_t>(cat)];
+    }
+};
+
+/**
+ * Observer of intermittent-execution events. Attach one through
+ * Simulator::attachObserver to trace a run (the CLI driver's
+ * --trace, tests, custom tooling). Callbacks fire synchronously.
+ */
+class SimObserver
+{
+  public:
+    virtual ~SimObserver() = default;
+
+    /** A backup persisted. */
+    virtual void
+    onBackup(BackupReason reason, Cycles active_cycles)
+    {
+        (void)reason;
+        (void)active_cycles;
+    }
+
+    /** The supply browned out. */
+    virtual void onPowerFailure(Cycles active_cycles)
+    {
+        (void)active_cycles;
+    }
+
+    /** State was restored after a brown-out. */
+    virtual void onRestore(Cycles active_cycles)
+    {
+        (void)active_cycles;
+    }
+
+    /** A JIT-style policy put the core to sleep. */
+    virtual void onHibernate(Cycles active_cycles)
+    {
+        (void)active_cycles;
+    }
+
+    /** The supply recovered and execution resumed without loss. */
+    virtual void onWake(Cycles active_cycles)
+    {
+        (void)active_cycles;
+    }
+};
+
+/** Per-run knobs that are not part of the system configuration. */
+struct RunOptions
+{
+    uint64_t maxCycles = 400000000ull; ///< safety cap (active+off)
+    bool validate = true;              ///< compare against golden run
+
+    /** Capacitor voltage at boot; 0 selects the turn-on voltage
+     *  (devices wake as soon as the harvester charges past vOn, so
+     *  they rarely start with a full capacitor). */
+    double initialVoltage = 0;
+};
+
+/** Result of a continuously-powered (golden) execution. */
+struct GoldenResult
+{
+    std::vector<uint8_t> data; ///< final data-segment bytes
+    uint64_t instructions = 0;
+    bool halted = false;
+};
+
+/**
+ * Run a program to completion on a continuously-powered core with a
+ * flat memory (no cache, no energy accounting). Used as the
+ * correctness oracle and by workload golden-model tests.
+ */
+GoldenResult runContinuous(const Program &prog,
+                           uint64_t max_instructions = 200000000ull);
+
+/** Build an architecture instance. */
+std::unique_ptr<IntermittentArch> makeArch(ArchKind kind,
+                                           const SystemConfig &cfg,
+                                           Nvm &nvm, EnergySink &sink);
+
+/**
+ * One intermittent simulation. The simulator is single-use: build,
+ * run(), read the result.
+ */
+class Simulator : public EnergySink, public BackupHost
+{
+  public:
+    Simulator(const Program &prog, ArchKind arch_kind,
+              const SystemConfig &cfg, BackupPolicy &policy,
+              const HarvestTrace &trace, RunOptions opts = {});
+
+    /** Execute the program intermittently and collect the result. */
+    RunResult run();
+
+    // ------------------------------------------------------------------
+    // EnergySink (components charge through here)
+    // ------------------------------------------------------------------
+    void consume(NanoJoules nj) override;
+    void consumeOverhead(NanoJoules nj) override;
+    void addCycles(Cycles n) override;
+
+    // ------------------------------------------------------------------
+    // BackupHost (architectures trigger backups through here)
+    // ------------------------------------------------------------------
+    void requestBackup(BackupReason reason) override;
+
+    /** The architecture under simulation (tests introspect it). */
+    IntermittentArch &archRef() { return *arch; }
+    const Capacitor &capacitorRef() const { return cap; }
+
+    /** Attach an event observer (optional; call before run()). */
+    void attachObserver(SimObserver *obs) { observer = obs; }
+
+  private:
+    const Program &program;
+    const SystemConfig &cfg;
+    BackupPolicy &policy;
+    const HarvestTrace &trace;
+    RunOptions opts;
+
+    Capacitor cap;
+    Nvm nvm;
+    std::unique_ptr<IntermittentArch> arch;
+    Cpu cpu;
+    EnergyAccount account;
+
+    EMode mode = EMode::Execute;
+    bool inAtomic = false;
+    bool chargesMtLeak = false;
+    SimObserver *observer = nullptr;
+
+    uint64_t activeCycles = 0;
+    uint64_t totalCycles = 0;
+    uint64_t lastBackupActive = 0;
+    uint64_t resumeActive = 0;
+
+    void applyEnergy(NanoJoules nj, bool overhead);
+    void checkBrownout();
+    ECat categoryFor(bool overhead) const;
+
+    void maybePolicyBackup();
+    void hibernate();
+    void handlePowerFailure();
+    void waitForRecharge(NanoJoules need_nj);
+    bool validateAgainstGolden(const GoldenResult &golden) const;
+
+    RunResult makeResult(bool completed, bool validated) const;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_SIM_SIMULATOR_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 2dconv workload: 3x3 convolution over a 64x32 image (PERFECT suite
+ * port), normalized by a 4-bit shift. Borders are left zero.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asm2dconvSource()
+{
+    return R"(
+# 3x3 convolution, 64-wide x 32-tall image, output shifted >> 4.
+        .data
+kern:   .word 1 2 1 2 4 2 1 2 1
+img:    .rand 2048 303 0 255
+out:    .space 8192
+
+        .text
+main:
+        li   r1, 1              # y = 1
+yloop:
+        li   r2, 1              # x = 1
+xloop:
+        task
+        li   r3, 0              # acc
+        li   r4, 0              # ky
+kyloop:
+        li   r5, 0              # kx
+kxloop:
+        addi r6, r1, -1         # (y + ky - 1) * 64
+        add  r6, r6, r4
+        slli r6, r6, 6
+        addi r7, r2, -1         # + (x + kx - 1)
+        add  r7, r7, r5
+        add  r6, r6, r7
+        slli r6, r6, 2
+        li   r8, img
+        add  r6, r6, r8
+        ld   r9, 0(r6)          # pixel
+        muli r10, r4, 3         # kern[ky*3 + kx]
+        add  r10, r10, r5
+        slli r10, r10, 2
+        li   r8, kern
+        add  r10, r10, r8
+        ld   r11, 0(r10)
+        mul  r9, r9, r11
+        add  r3, r3, r9
+        addi r5, r5, 1
+        li   r8, 3
+        blt  r5, r8, kxloop
+        addi r4, r4, 1
+        li   r8, 3
+        blt  r4, r8, kyloop
+
+        srai r3, r3, 4          # normalize
+        slli r6, r1, 6          # out[y*64 + x]
+        add  r6, r6, r2
+        slli r6, r6, 2
+        li   r8, out
+        add  r6, r6, r8
+        st   r3, 0(r6)
+
+        addi r2, r2, 1
+        li   r8, 63
+        blt  r2, r8, xloop
+        addi r1, r1, 1
+        li   r8, 31
+        blt  r1, r8, yloop
+        halt
+)";
+}
+
+} // namespace nvmr

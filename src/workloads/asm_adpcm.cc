@@ -1,0 +1,113 @@
+/**
+ * @file
+ * adpcm_encode workload: IMA ADPCM encoder over 6144 PCM samples
+ * (MiBench adpcm rawcaudio analogue). Sequential reads, sequential
+ * code writes and two scalar state variables: the lowest-violation
+ * workload in the paper, reproduced here.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmAdpcmSource()
+{
+    return R"(
+# IMA ADPCM encoder.
+#   in   : 6144 signed PCM samples in [-8000, 8000]
+#   out  : one 4-bit code per sample (stored one per word)
+        .data
+steptab:
+        .word 7 8 9 10 11 12 13 14 16 17
+        .word 19 21 23 25 28 31 34 37 41 45
+        .word 50 55 60 66 73 80 88 97 107 118
+        .word 130 143 157 173 190 209 230 253 279 307
+        .word 337 371 408 449 494 544 598 658 724 796
+        .word 876 963 1060 1166 1282 1411 1552 1707 1878 2066
+        .word 2272 2499 2749 3024 3327 3660 4026 4428 4871 5358
+        .word 5894 6484 7132 7845 8630 9493 10442 11487 12635 13899
+        .word 15289 16818 18500 20350 22385 24623 27086 29794 32767
+idxtab: .word -1 -1 -1 -1 2 4 6 8 -1 -1 -1 -1 2 4 6 8
+in:     .rand 6144 707 -8000 8000
+out:    .space 24576
+
+        .text
+main:
+        li   r1, 0              # i
+        li   r2, 0              # valpred
+        li   r3, 0              # index
+sample:
+        task
+        slli r4, r1, 2          # sample = in[i]
+        li   r5, in
+        add  r4, r4, r5
+        ld   r4, 0(r4)
+        slli r5, r3, 2          # step = steptab[index]
+        li   r6, steptab
+        add  r5, r5, r6
+        ld   r5, 0(r5)
+        sub  r6, r4, r2         # diff = sample - valpred
+        li   r7, 0              # sign
+        bge  r6, r0, pos
+        li   r7, 8
+        neg  r6, r6
+pos:
+        li   r8, 0              # delta
+        srai r9, r5, 3          # vpdiff = step >> 3
+        blt  r6, r5, b1
+        ori  r8, r8, 4
+        sub  r6, r6, r5
+        add  r9, r9, r5
+b1:
+        srai r5, r5, 1
+        blt  r6, r5, b2
+        ori  r8, r8, 2
+        sub  r6, r6, r5
+        add  r9, r9, r5
+b2:
+        srai r5, r5, 1
+        blt  r6, r5, b3
+        ori  r8, r8, 1
+        add  r9, r9, r5
+b3:
+        beq  r7, r0, addv       # apply vpdiff with sign
+        sub  r2, r2, r9
+        jmp  clamp
+addv:
+        add  r2, r2, r9
+clamp:
+        li   r10, 32767
+        ble  r2, r10, cl1
+        mv   r2, r10
+cl1:
+        li   r10, -32768
+        bge  r2, r10, cl2
+        mv   r2, r10
+cl2:
+        or   r8, r8, r7         # delta |= sign
+        slli r10, r1, 2         # out[i] = delta
+        li   r11, out
+        add  r10, r10, r11
+        st   r8, 0(r10)
+        slli r10, r8, 2         # index += idxtab[delta]
+        li   r11, idxtab
+        add  r10, r10, r11
+        ld   r10, 0(r10)
+        add  r3, r3, r10
+        bge  r3, r0, ic1        # clamp index to [0, 88]
+        li   r3, 0
+ic1:
+        li   r10, 88
+        ble  r3, r10, ic2
+        mv   r3, r10
+ic2:
+        addi r1, r1, 1
+        li   r10, 6144
+        blt  r1, r10, sample
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * basicmath workload: integer square roots (Newton iteration) and
+ * GCDs (Euclid) over random operand arrays, with results folded into
+ * a small accumulator array (MiBench basicmath analogue). The hot
+ * accumulators make this the most violation-dense workload, as in
+ * Table 3 of the paper.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmBasicmathSource()
+{
+    return R"(
+# Integer math sweeps.
+#   aarr, barr : 2048 random operands each
+#   acc        : 128 hot accumulators (read-modify-write)
+#   sq         : 1024-entry result ring
+        .data
+aarr:   .rand 2048 808 1 100000
+barr:   .rand 2048 809 1 100000
+acc:    .space 512
+sq:     .space 4096
+
+        .text
+main:
+        li   r1, 0              # i
+loop:
+        task
+        slli r4, r1, 2          # r10 = aarr[i]
+        li   r5, aarr
+        add  r4, r4, r5
+        ld   r10, 0(r4)
+        call isqrt              # r12 = isqrt(r10)
+        mv   r6, r12            # s
+
+        slli r4, r1, 2          # r10 = aarr[i], r11 = barr[i]
+        li   r5, aarr
+        add  r4, r4, r5
+        ld   r10, 0(r4)
+        slli r4, r1, 2
+        li   r5, barr
+        add  r4, r4, r5
+        ld   r11, 0(r4)
+        call gcd                # r12 = gcd(r10, r11)
+        add  r6, r6, r12        # v = s + g
+
+        andi r4, r1, 127        # acc[i & 127] += v
+        slli r4, r4, 2
+        li   r5, acc
+        add  r4, r4, r5
+        ld   r7, 0(r4)
+        add  r7, r7, r6
+        st   r7, 0(r4)
+
+        andi r4, r1, 1023       # sq[i & 1023] = v
+        slli r4, r4, 2
+        li   r5, sq
+        add  r4, r4, r5
+        st   r6, 0(r4)
+
+        addi r1, r1, 1
+        li   r5, 2048
+        blt  r1, r5, loop
+        halt
+
+# ---- r12 = floor(sqrt(r10)), Newton iteration ----
+isqrt:
+        li   r13, 2
+        blt  r10, r13, isqrt_small
+        mv   r12, r10           # x = n
+        div  r13, r10, r12      # y = (x + n/x) / 2
+        add  r13, r13, r12
+        srai r13, r13, 1
+isqrt_loop:
+        bge  r13, r12, isqrt_done
+        mv   r12, r13
+        div  r13, r10, r12
+        add  r13, r13, r12
+        srai r13, r13, 1
+        jmp  isqrt_loop
+isqrt_done:
+        ret
+isqrt_small:
+        mv   r12, r10
+        ret
+
+# ---- r12 = gcd(r10, r11), Euclid ----
+gcd:
+gcd_loop:
+        beq  r11, r0, gcd_done
+        rem  r13, r10, r11
+        mv   r10, r11
+        mv   r11, r13
+        jmp  gcd_loop
+gcd_done:
+        mv   r12, r10
+        ret
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * blowfish workload: a reduced Feistel cipher with two 256-word
+ * S-boxes and an 18-word P-array (MiBench blowfish analogue; see
+ * DESIGN.md substitution 2). The key schedule repeatedly encrypts a
+ * running block and writes it back into the P-array and S-boxes —
+ * the same read-then-overwrite table traffic as real Blowfish — then
+ * CBC-encrypts a 768-word buffer in place.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmBlowfishSource()
+{
+    return R"(
+# Reduced Blowfish: 16 Feistel rounds,
+#   F(x) = ((s0[(x>>16)&255] + s1[(x>>8)&255]) ^ s0[x&255]).
+        .data
+p:      .rand 18 909 0 4294967295
+s0:     .rand 256 910 0 4294967295
+s1:     .rand 256 911 0 4294967295
+key:    .word 0x12345678 0x9abcdef0 0x0fedcba9 0x87654321
+data:   .rand 768 912 0 4294967295
+
+        .text
+main:
+# ---- key mix: p[i] ^= key[i % 4] ----
+        li   r1, 0
+keymix:
+        andi r4, r1, 3
+        slli r4, r4, 2
+        li   r5, key
+        add  r4, r4, r5
+        ld   r4, 0(r4)
+        slli r5, r1, 2
+        li   r6, p
+        add  r5, r5, r6
+        ld   r7, 0(r5)
+        xor  r7, r7, r4
+        st   r7, 0(r5)
+        addi r1, r1, 1
+        li   r6, 18
+        blt  r1, r6, keymix
+
+# ---- key schedule: refill p, s0, s1 with running encryptions ----
+        li   r2, 0              # L
+        li   r3, 0              # R
+        li   r1, 0
+sched_p:
+        task
+        call enc
+        slli r4, r1, 3
+        li   r5, p
+        add  r4, r4, r5
+        st   r2, 0(r4)
+        st   r3, 4(r4)
+        addi r1, r1, 1
+        li   r6, 9
+        blt  r1, r6, sched_p
+        li   r1, 0
+sched_s0:
+        task
+        call enc
+        slli r4, r1, 3
+        li   r5, s0
+        add  r4, r4, r5
+        st   r2, 0(r4)
+        st   r3, 4(r4)
+        addi r1, r1, 1
+        li   r6, 128
+        blt  r1, r6, sched_s0
+        li   r1, 0
+sched_s1:
+        task
+        call enc
+        slli r4, r1, 3
+        li   r5, s1
+        add  r4, r4, r5
+        st   r2, 0(r4)
+        st   r3, 4(r4)
+        addi r1, r1, 1
+        li   r6, 128
+        blt  r1, r6, sched_s1
+
+# ---- CBC-encrypt the data buffer in place ----
+        li   r8, 0x13579bdf     # IV
+        li   r9, 0x2468ace0
+        li   r1, 0
+cbc:
+        task
+        slli r4, r1, 3
+        li   r5, data
+        add  r10, r4, r5
+        ld   r2, 0(r10)
+        ld   r3, 4(r10)
+        xor  r2, r2, r8
+        xor  r3, r3, r9
+        call enc
+        st   r2, 0(r10)
+        st   r3, 4(r10)
+        mv   r8, r2
+        mv   r9, r3
+        addi r1, r1, 1
+        li   r6, 384
+        blt  r1, r6, cbc
+        halt
+
+# ---- encrypt (r2, r3) in place; clobbers r4-r7 ----
+enc:
+        li   r4, 0
+enc_round:
+        slli r5, r4, 2          # L ^= p[i]
+        li   r6, p
+        add  r5, r5, r6
+        ld   r5, 0(r5)
+        xor  r2, r2, r5
+        srli r5, r2, 16         # F(L)
+        andi r5, r5, 255
+        slli r5, r5, 2
+        li   r6, s0
+        add  r5, r5, r6
+        ld   r5, 0(r5)
+        srli r7, r2, 8
+        andi r7, r7, 255
+        slli r7, r7, 2
+        li   r6, s1
+        add  r7, r7, r6
+        ld   r7, 0(r7)
+        add  r5, r5, r7
+        andi r7, r2, 255
+        slli r7, r7, 2
+        li   r6, s0
+        add  r7, r7, r6
+        ld   r7, 0(r7)
+        xor  r5, r5, r7
+        xor  r3, r3, r5         # R ^= F(L)
+        mv   r7, r2             # swap L, R
+        mv   r2, r3
+        mv   r3, r7
+        addi r4, r4, 1
+        li   r6, 16
+        blt  r4, r6, enc_round
+        mv   r7, r2             # undo final swap
+        mv   r2, r3
+        mv   r3, r7
+        li   r6, p              # output whitening
+        ld   r5, 64(r6)
+        xor  r3, r3, r5
+        ld   r5, 68(r6)
+        xor  r2, r2, r5
+        ret
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * dijkstra workload: single-source shortest paths on a dense 96-node
+ * graph (adjacency matrix, O(V^2) selection), as in the MiBench
+ * network suite. The dist[] relaxation is the classic read-compare-
+ * write pattern that triggers idempotency violations.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmDijkstraSource()
+{
+    return R"(
+# Dijkstra, V = 96, dense adjacency matrix of weights in [1, 9].
+#   adj     : 96*96 words, row-major
+#   dist    : 96 words
+#   visited : 96 words
+        .data
+adj:    .rand 9216 505 1 9
+dist:   .space 384
+visited: .space 384
+
+        .text
+main:
+# ---- init: dist[i] = INF, visited[i] = 0; dist[0] = 0 ----
+        li   r1, dist
+        li   r2, visited
+        li   r3, 0
+        li   r4, 96
+        li   r5, 0x3fffffff
+init:
+        st   r5, 0(r1)
+        st   r0, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, 1
+        blt  r3, r4, init
+        li   r1, dist
+        st   r0, 0(r1)
+
+        li   r12, 0             # iteration count
+iter:
+        task
+# ---- select unvisited u with minimal dist ----
+        li   r5, 0x7fffffff     # best
+        li   r6, -1             # u
+        li   r3, 0
+sel:
+        slli r7, r3, 2
+        li   r8, visited
+        add  r8, r8, r7
+        ld   r9, 0(r8)
+        bne  r9, r0, selnext
+        li   r8, dist
+        add  r8, r8, r7
+        ld   r9, 0(r8)
+        bge  r9, r5, selnext
+        mv   r5, r9
+        mv   r6, r3
+selnext:
+        addi r3, r3, 1
+        li   r4, 96
+        blt  r3, r4, sel
+        li   r4, -1
+        beq  r6, r4, done       # nothing reachable left
+
+# ---- visit u ----
+        slli r7, r6, 2
+        li   r8, visited
+        add  r8, r8, r7
+        li   r9, 1
+        st   r9, 0(r8)
+        li   r8, dist
+        add  r8, r8, r7
+        ld   r10, 0(r8)         # dist[u]
+
+# ---- relax all edges (u, v) ----
+        muli r11, r6, 96        # row base index
+        li   r3, 0
+relax:
+        slli r7, r3, 2
+        li   r8, visited
+        add  r8, r8, r7
+        ld   r9, 0(r8)
+        bne  r9, r0, rnext
+        add  r8, r11, r3        # adj[u*96 + v]
+        slli r8, r8, 2
+        li   r9, adj
+        add  r8, r8, r9
+        ld   r8, 0(r8)
+        add  r8, r8, r10        # nd = dist[u] + w
+        li   r9, dist
+        add  r9, r9, r7
+        ld   r13, 0(r9)
+        bge  r8, r13, rnext
+        st   r8, 0(r9)
+rnext:
+        addi r3, r3, 1
+        li   r4, 96
+        blt  r3, r4, relax
+
+        addi r12, r12, 1
+        li   r4, 96
+        blt  r12, r4, iter
+done:
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * dwt workload: two-level 2D Haar discrete wavelet transform of a
+ * 64x64 image, in place with a 64-word line buffer (PERFECT suite
+ * port). The in-place update pattern generates the read-then-write
+ * accesses that intermittent systems must handle.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmDwtSource()
+{
+    return R"(
+# Two-level 2D Haar DWT, 64x64 words, in place.
+#   img : the image (row-major, stride 64)
+#   tmp : one 64-word line buffer
+# Registers: r1=level size s, r2=y/x outer, r3=i inner, r13=s/2
+        .data
+img:    .rand 4096 404 0 1023
+tmp:    .space 256
+
+        .text
+main:
+        li   r1, 64             # s = 64 (level 1), then 32
+
+level:
+        srli r13, r1, 1         # s/2
+
+# ---- horizontal pass: rows 0..s-1 ----
+        li   r2, 0              # y
+hrow:
+        task
+        li   r3, 0              # i = 0..s/2-1
+hpair:
+        slli r4, r2, 6          # row base = y*64
+        slli r5, r3, 1          # 2i
+        add  r6, r4, r5
+        slli r6, r6, 2
+        li   r7, img
+        add  r6, r6, r7
+        ld   r8, 0(r6)          # a = img[y][2i]
+        ld   r9, 4(r6)          # b = img[y][2i+1]
+        add  r10, r8, r9        # low = (a+b)>>1
+        srai r10, r10, 1
+        sub  r11, r8, r9        # high = a-b
+        slli r12, r3, 2         # tmp[i] = low
+        li   r7, tmp
+        add  r12, r12, r7
+        st   r10, 0(r12)
+        add  r5, r3, r13        # tmp[i + s/2] = high
+        slli r5, r5, 2
+        add  r5, r5, r7
+        st   r11, 0(r5)
+        addi r3, r3, 1
+        blt  r3, r13, hpair
+# copy tmp back into the row
+        li   r3, 0
+hcopy:
+        slli r5, r3, 2
+        li   r7, tmp
+        add  r5, r5, r7
+        ld   r8, 0(r5)
+        slli r6, r2, 6
+        add  r6, r6, r3
+        slli r6, r6, 2
+        li   r7, img
+        add  r6, r6, r7
+        st   r8, 0(r6)
+        addi r3, r3, 1
+        blt  r3, r1, hcopy
+        addi r2, r2, 1
+        blt  r2, r1, hrow
+
+# ---- vertical pass: columns 0..s-1 ----
+        li   r2, 0              # x
+vcol:
+        task
+        li   r3, 0              # i
+vpair:
+        slli r4, r3, 1          # 2i
+        slli r4, r4, 6          # row offset (2i)*64
+        add  r4, r4, r2
+        slli r4, r4, 2
+        li   r7, img
+        add  r4, r4, r7
+        ld   r8, 0(r4)          # a = img[2i][x]
+        ld   r9, 256(r4)        # b = img[2i+1][x] (stride 64 words)
+        add  r10, r8, r9
+        srai r10, r10, 1
+        sub  r11, r8, r9
+        slli r12, r3, 2
+        li   r7, tmp
+        add  r12, r12, r7
+        st   r10, 0(r12)
+        add  r5, r3, r13
+        slli r5, r5, 2
+        add  r5, r5, r7
+        st   r11, 0(r5)
+        addi r3, r3, 1
+        blt  r3, r13, vpair
+# copy tmp back into the column
+        li   r3, 0
+vcopy:
+        slli r5, r3, 2
+        li   r7, tmp
+        add  r5, r5, r7
+        ld   r8, 0(r5)
+        slli r6, r3, 6
+        add  r6, r6, r2
+        slli r6, r6, 2
+        li   r7, img
+        add  r6, r6, r7
+        st   r8, 0(r6)
+        addi r3, r3, 1
+        blt  r3, r1, vcopy
+        addi r2, r2, 1
+        blt  r2, r1, vcol
+
+# ---- next level: s = s/2, stop after s = 32 ----
+        srli r1, r1, 1
+        li   r7, 32
+        bge  r1, r7, level
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * hist workload: histogram equalization of a 4096-pixel image
+ * (PERFECT suite port). Builds a 256-bin histogram, prefix-sums it
+ * into a CDF, and remaps every pixel.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmHistSource()
+{
+    return R"(
+# Histogram equalization.
+#   img  : 4096 pixels in [0, 255] (one per word)
+#   hist : 256 bins, cdf: 256 entries, out: 4096 pixels
+        .data
+img:    .rand 4096 202 0 255
+hist:   .space 1024
+cdf:    .space 1024
+out:    .space 16384
+
+        .text
+main:
+# ---- clear histogram ----
+        li   r1, hist
+        li   r2, 0
+        li   r3, 256
+clr:
+        st   r0, 0(r1)
+        addi r1, r1, 4
+        addi r2, r2, 1
+        blt  r2, r3, clr
+
+# ---- accumulate histogram (read-modify-write on bins) ----
+        li   r1, img
+        li   r2, 0
+        li   r3, 4096
+        li   r6, hist
+acc:
+        task
+        ld   r4, 0(r1)
+        slli r5, r4, 2
+        add  r5, r5, r6
+        ld   r7, 0(r5)
+        addi r7, r7, 1
+        st   r7, 0(r5)
+        addi r1, r1, 4
+        addi r2, r2, 1
+        blt  r2, r3, acc
+
+# ---- prefix sum into cdf ----
+        li   r1, hist
+        li   r2, cdf
+        li   r3, 0              # running sum
+        li   r4, 0
+        li   r5, 256
+pfx:
+        ld   r6, 0(r1)
+        add  r3, r3, r6
+        st   r3, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r4, r4, 1
+        blt  r4, r5, pfx
+
+# ---- remap: out[i] = cdf[img[i]] * 255 / 4096 ----
+        li   r1, img
+        li   r2, out
+        li   r4, 0
+        li   r5, 4096
+        li   r7, cdf
+        li   r9, 4096
+map:
+        task
+        ld   r6, 0(r1)
+        slli r6, r6, 2
+        add  r6, r6, r7
+        ld   r8, 0(r6)
+        muli r8, r8, 255
+        div  r8, r8, r9
+        st   r8, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r4, r4, 1
+        blt  r4, r5, map
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * picojpeg workload: the decode core of a baseline JPEG decoder —
+ * dequantization, zig-zag reordering and a separable fixed-point
+ * 8x8 block transform with level shift and clamping — over 24
+ * coefficient blocks (MiBench picojpeg analogue; see DESIGN.md
+ * substitution 2).
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmPicojpegSource()
+{
+    return R"(
+# JPEG decode core: per block, blk[zz[k]] = coef[k] * q[k], then two
+# fixed-point 8x8 matrix passes (rows then columns), level shift and
+# clamp to [0, 255].
+        .data
+zigzag: .word 0 1 8 16 9 2 3 10 17 24
+        .word 32 25 18 11 4 5 12 19 26 33
+        .word 40 48 41 34 27 20 13 6 7 14
+        .word 21 28 35 42 49 56 57 50 43 36
+        .word 29 22 15 23 30 37 44 51 58 59
+        .word 52 45 38 31 39 46 53 60 61 54
+        .word 47 55 62 63
+qtab:   .rand 64 111 1 32
+cmat:   .rand 64 112 0 255
+coef:   .rand 1536 113 -128 127
+out:    .space 6144
+blk:    .space 256
+tmp:    .space 256
+
+        .text
+main:
+        li   r1, 0              # block index
+block:
+        task
+# ---- dequantize + zig-zag: blk[zz[k]] = coef[b*64+k] * qtab[k] ----
+        li   r2, 0
+dq:
+        muli r4, r1, 256
+        slli r5, r2, 2
+        add  r4, r4, r5
+        li   r6, coef
+        add  r4, r4, r6
+        ld   r7, 0(r4)
+        li   r6, qtab
+        add  r5, r5, r6
+        ld   r8, 0(r5)
+        mul  r7, r7, r8
+        slli r5, r2, 2
+        li   r6, zigzag
+        add  r5, r5, r6
+        ld   r9, 0(r5)
+        slli r9, r9, 2
+        li   r6, blk
+        add  r9, r9, r6
+        st   r7, 0(r9)
+        addi r2, r2, 1
+        li   r6, 64
+        blt  r2, r6, dq
+
+# ---- row pass: tmp[r][j] = (sum_k blk[r][k] * cmat[k][j]) >> 8 ----
+        li   r2, 0              # r
+rowr:
+        li   r3, 0              # j
+rowj:
+        li   r7, 0              # s
+        li   r4, 0              # k
+rowk:
+        slli r5, r2, 3
+        add  r5, r5, r4
+        slli r5, r5, 2
+        li   r6, blk
+        add  r5, r5, r6
+        ld   r8, 0(r5)
+        slli r5, r4, 3
+        add  r5, r5, r3
+        slli r5, r5, 2
+        li   r6, cmat
+        add  r5, r5, r6
+        ld   r9, 0(r5)
+        mul  r8, r8, r9
+        add  r7, r7, r8
+        addi r4, r4, 1
+        li   r6, 8
+        blt  r4, r6, rowk
+        srai r7, r7, 8
+        slli r5, r2, 3
+        add  r5, r5, r3
+        slli r5, r5, 2
+        li   r6, tmp
+        add  r5, r5, r6
+        st   r7, 0(r5)
+        addi r3, r3, 1
+        li   r6, 8
+        blt  r3, r6, rowj
+        addi r2, r2, 1
+        li   r6, 8
+        blt  r2, r6, rowr
+
+# ---- column pass + level shift + clamp ----
+        li   r2, 0              # i
+coli:
+        li   r3, 0              # j
+colj:
+        li   r7, 0
+        li   r4, 0              # k
+colk:
+        slli r5, r4, 3
+        add  r5, r5, r2
+        slli r5, r5, 2
+        li   r6, cmat
+        add  r5, r5, r6
+        ld   r8, 0(r5)          # cmat[k][i]
+        slli r5, r4, 3
+        add  r5, r5, r3
+        slli r5, r5, 2
+        li   r6, tmp
+        add  r5, r5, r6
+        ld   r9, 0(r5)          # tmp[k][j]
+        mul  r8, r8, r9
+        add  r7, r7, r8
+        addi r4, r4, 1
+        li   r6, 8
+        blt  r4, r6, colk
+        srai r7, r7, 8
+        addi r7, r7, 128        # level shift
+        bge  r7, r0, cp1
+        li   r7, 0
+cp1:
+        li   r6, 255
+        ble  r7, r6, cp2
+        mv   r7, r6
+cp2:
+        muli r5, r1, 256        # out[b*64 + i*8 + j]
+        slli r6, r2, 3
+        add  r6, r6, r3
+        slli r6, r6, 2
+        add  r5, r5, r6
+        li   r6, out
+        add  r5, r5, r6
+        st   r7, 0(r5)
+        addi r3, r3, 1
+        li   r6, 8
+        blt  r3, r6, colj
+        addi r2, r2, 1
+        li   r6, 8
+        blt  r2, r6, coli
+
+        addi r1, r1, 1
+        li   r6, 24
+        blt  r1, r6, block
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * qsort workload: iterative Lomuto quicksort over 3072 random words,
+ * using an explicit frame stack in the data segment. Mirrors the
+ * MiBench qsort kernel's read-modify-write-heavy access pattern.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmQsortSource()
+{
+    return R"(
+# Iterative quicksort, Lomuto partition.
+#   arr   : 3072 random words in [0, 1000000]
+#   stack : up to 512 (lo, hi) frames
+        .data
+arr:    .rand 3072 101 0 1000000
+stack:  .space 4096
+
+        .text
+main:
+        li   r1, arr
+        li   r4, stack          # frame stack pointer (empty)
+        li   r2, 0              # lo = 0
+        li   r3, 3071           # hi = N-1
+        st   r2, 0(r4)
+        st   r3, 4(r4)
+        addi r4, r4, 8
+
+loop:
+        task
+        li   r5, stack
+        beq  r4, r5, done       # stack empty -> sorted
+        addi r4, r4, -8
+        ld   r2, 0(r4)          # lo
+        ld   r3, 4(r4)          # hi
+        bge  r2, r3, loop       # empty/singleton range
+
+# ---- Lomuto partition with pivot = arr[hi] ----
+        slli r6, r3, 2
+        add  r6, r6, r1
+        ld   r7, 0(r6)          # pivot value
+        addi r8, r2, -1         # i = lo - 1
+        mv   r9, r2             # j = lo
+ploop:
+        bge  r9, r3, pdone
+        slli r10, r9, 2
+        add  r10, r10, r1
+        ld   r11, 0(r10)        # arr[j]
+        bgt  r11, r7, pnext
+        addi r8, r8, 1          # ++i, swap arr[i] <-> arr[j]
+        slli r12, r8, 2
+        add  r12, r12, r1
+        ld   r13, 0(r12)
+        st   r11, 0(r12)
+        st   r13, 0(r10)
+pnext:
+        addi r9, r9, 1
+        jmp  ploop
+pdone:
+        addi r8, r8, 1          # p = i + 1, swap arr[p] <-> arr[hi]
+        slli r12, r8, 2
+        add  r12, r12, r1
+        ld   r13, 0(r12)
+        ld   r11, 0(r6)
+        st   r11, 0(r12)
+        st   r13, 0(r6)
+
+# ---- push (lo, p-1) and (p+1, hi) ----
+        addi r10, r8, -1
+        st   r2, 0(r4)
+        st   r10, 4(r4)
+        addi r4, r4, 8
+        addi r10, r8, 1
+        st   r10, 0(r4)
+        st   r3, 4(r4)
+        addi r4, r4, 8
+        jmp  loop
+
+done:
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * stringsearch workload: count occurrences of 6 patterns in a
+ * 4096-symbol text (MiBench stringsearch analogue). Symbols are
+ * small integers, one per word; matches also log their positions.
+ * Dominated by forward-progress reads, as the paper observes.
+ */
+
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const char *
+asmStringsearchSource()
+{
+    return R"(
+# Naive multi-pattern search.
+#   text     : 4096 symbols in [0, 12] (high match likelihood on
+#              short prefixes, exercising the inner loop)
+#   pats     : 6 patterns of 4 symbols each
+#   counts   : match count per pattern
+#   poslog   : last 256 match positions (ring)
+        .data
+text:   .rand 4096 606 0 12
+pats:   .rand 24 607 0 12
+counts: .space 24
+poslog: .space 1024
+
+        .text
+main:
+        li   r1, 0              # p = pattern index
+        li   r12, 0             # poslog cursor
+ploop:
+        task
+        muli r2, r1, 16         # pattern base (4 words)
+        li   r3, pats
+        add  r2, r2, r3
+        li   r4, 0              # matches for this pattern
+        li   r5, 0              # t = text position
+tloop:
+        li   r6, 0              # k
+kloop:
+        add  r7, r5, r6         # text[t + k]
+        slli r7, r7, 2
+        li   r8, text
+        add  r7, r7, r8
+        ld   r9, 0(r7)
+        slli r10, r6, 2         # pat[k]
+        add  r10, r10, r2
+        ld   r11, 0(r10)
+        bne  r9, r11, miss
+        addi r6, r6, 1
+        li   r8, 4
+        blt  r6, r8, kloop
+# full match
+        addi r4, r4, 1
+        andi r13, r12, 255      # poslog[cursor & 255] = t
+        slli r13, r13, 2
+        li   r8, poslog
+        add  r13, r13, r8
+        st   r5, 0(r13)
+        addi r12, r12, 1
+miss:
+        addi r5, r5, 1
+        li   r8, 4093           # last start = 4096 - 4 + 1
+        blt  r5, r8, tloop
+# store count
+        slli r7, r1, 2
+        li   r8, counts
+        add  r7, r7, r8
+        st   r4, 0(r7)
+        addi r1, r1, 1
+        li   r8, 6
+        blt  r1, r8, ploop
+        halt
+)";
+}
+
+} // namespace nvmr

@@ -1,0 +1,512 @@
+#include "workloads/golden.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+
+namespace nvmr
+{
+
+Word
+goldenWord(const GoldenResult &golden, Addr addr)
+{
+    panic_if(addr + kWordBytes > golden.data.size(),
+             "golden word read out of range: ", addr);
+    Word w = 0;
+    for (unsigned i = 0; i < kWordBytes; ++i)
+        w |= static_cast<Word>(golden.data[addr + i]) << (8 * i);
+    return w;
+}
+
+std::vector<Word>
+goldenWords(const GoldenResult &golden, Addr addr, size_t n)
+{
+    std::vector<Word> words(n);
+    for (size_t i = 0; i < n; ++i)
+        words[i] = goldenWord(golden,
+                              addr + static_cast<Addr>(i) * kWordBytes);
+    return words;
+}
+
+std::vector<Word>
+randWords(size_t n, uint64_t seed, int64_t lo, int64_t hi)
+{
+    XorShift rng(seed);
+    std::vector<Word> words(n);
+    for (size_t i = 0; i < n; ++i)
+        words[i] = static_cast<Word>(rng.range(lo, hi));
+    return words;
+}
+
+std::string
+mismatchAt(const std::string &what, size_t index, Word expect,
+           Word got)
+{
+    std::ostringstream os;
+    os << what << "[" << index << "]: expected " << expect << ", got "
+       << got;
+    return os.str();
+}
+
+namespace
+{
+
+/** Compare a golden array against an expectation vector. */
+std::string
+compareArray(const Program &prog, const GoldenResult &g,
+             const std::string &label, const std::vector<Word> &expect)
+{
+    Addr base = prog.labelOf(label);
+    for (size_t i = 0; i < expect.size(); ++i) {
+        Word got = goldenWord(g, base +
+                                     static_cast<Addr>(i) * kWordBytes);
+        if (got != expect[i])
+            return mismatchAt(label, i, expect[i], got);
+    }
+    return "";
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// qsort
+// ----------------------------------------------------------------------
+
+std::string
+checkQsort(const Program &prog, const GoldenResult &g)
+{
+    std::vector<Word> arr = randWords(3072, 101, 0, 1000000);
+    std::sort(arr.begin(), arr.end());
+    return compareArray(prog, g, "arr", arr);
+}
+
+// ----------------------------------------------------------------------
+// hist
+// ----------------------------------------------------------------------
+
+std::string
+checkHist(const Program &prog, const GoldenResult &g)
+{
+    std::vector<Word> img = randWords(4096, 202, 0, 255);
+    std::vector<Word> hist(256, 0), cdf(256, 0), out(4096, 0);
+    for (Word px : img)
+        ++hist[px];
+    Word run = 0;
+    for (size_t i = 0; i < 256; ++i) {
+        run += hist[i];
+        cdf[i] = run;
+    }
+    for (size_t i = 0; i < img.size(); ++i)
+        out[i] = cdf[img[i]] * 255 / 4096;
+
+    std::string err = compareArray(prog, g, "hist", hist);
+    if (err.empty())
+        err = compareArray(prog, g, "cdf", cdf);
+    if (err.empty())
+        err = compareArray(prog, g, "out", out);
+    return err;
+}
+
+// ----------------------------------------------------------------------
+// 2dconv
+// ----------------------------------------------------------------------
+
+std::string
+check2dconv(const Program &prog, const GoldenResult &g)
+{
+    constexpr int kW = 64, kH = 32;
+    const int kern[9] = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+    std::vector<Word> img = randWords(kW * kH, 303, 0, 255);
+    std::vector<Word> out(kW * kH, 0);
+    for (int y = 1; y < kH - 1; ++y) {
+        for (int x = 1; x < kW - 1; ++x) {
+            int32_t acc = 0;
+            for (int ky = 0; ky < 3; ++ky)
+                for (int kx = 0; kx < 3; ++kx)
+                    acc += static_cast<int32_t>(
+                               img[(y + ky - 1) * kW + (x + kx - 1)]) *
+                           kern[ky * 3 + kx];
+            out[y * kW + x] = static_cast<Word>(acc >> 4);
+        }
+    }
+    return compareArray(prog, g, "out", out);
+}
+
+// ----------------------------------------------------------------------
+// dwt
+// ----------------------------------------------------------------------
+
+std::string
+checkDwt(const Program &prog, const GoldenResult &g)
+{
+    constexpr int kN = 64;
+    std::vector<Word> raw = randWords(kN * kN, 404, 0, 1023);
+    std::vector<int32_t> img(raw.begin(), raw.end());
+    std::vector<int32_t> tmp(kN, 0);
+
+    for (int s = kN; s >= 32; s /= 2) {
+        int half = s / 2;
+        // Horizontal pass.
+        for (int y = 0; y < s; ++y) {
+            for (int i = 0; i < half; ++i) {
+                int32_t a = img[y * kN + 2 * i];
+                int32_t b = img[y * kN + 2 * i + 1];
+                tmp[i] = (a + b) >> 1;
+                tmp[half + i] = a - b;
+            }
+            for (int i = 0; i < s; ++i)
+                img[y * kN + i] = tmp[i];
+        }
+        // Vertical pass.
+        for (int x = 0; x < s; ++x) {
+            for (int i = 0; i < half; ++i) {
+                int32_t a = img[(2 * i) * kN + x];
+                int32_t b = img[(2 * i + 1) * kN + x];
+                tmp[i] = (a + b) >> 1;
+                tmp[half + i] = a - b;
+            }
+            for (int i = 0; i < s; ++i)
+                img[i * kN + x] = tmp[i];
+        }
+    }
+
+    std::vector<Word> expect(img.begin(), img.end());
+    return compareArray(prog, g, "img", expect);
+}
+
+// ----------------------------------------------------------------------
+// dijkstra
+// ----------------------------------------------------------------------
+
+std::string
+checkDijkstra(const Program &prog, const GoldenResult &g)
+{
+    constexpr int kV = 96;
+    constexpr int32_t kInf = 0x3fffffff;
+    std::vector<Word> adj = randWords(kV * kV, 505, 1, 9);
+    std::vector<int32_t> dist(kV, kInf);
+    std::vector<Word> visited(kV, 0);
+    dist[0] = 0;
+
+    for (int iter = 0; iter < kV; ++iter) {
+        int32_t best = 0x7fffffff;
+        int u = -1;
+        for (int i = 0; i < kV; ++i) {
+            if (!visited[i] && dist[i] < best) {
+                best = dist[i];
+                u = i;
+            }
+        }
+        if (u < 0)
+            break;
+        visited[u] = 1;
+        for (int v = 0; v < kV; ++v) {
+            if (visited[v])
+                continue;
+            int32_t nd = dist[u] + static_cast<int32_t>(adj[u * kV + v]);
+            if (nd < dist[v])
+                dist[v] = nd;
+        }
+    }
+
+    std::vector<Word> expect(dist.begin(), dist.end());
+    std::string err = compareArray(prog, g, "dist", expect);
+    if (err.empty())
+        err = compareArray(prog, g, "visited", visited);
+    return err;
+}
+
+// ----------------------------------------------------------------------
+// stringsearch
+// ----------------------------------------------------------------------
+
+std::string
+checkStringsearch(const Program &prog, const GoldenResult &g)
+{
+    std::vector<Word> text = randWords(4096, 606, 0, 12);
+    std::vector<Word> pats = randWords(24, 607, 0, 12);
+    std::vector<Word> counts(6, 0);
+    std::vector<Word> poslog(256, 0);
+    uint32_t cursor = 0;
+
+    for (int p = 0; p < 6; ++p) {
+        Word matches = 0;
+        for (int t = 0; t < 4093; ++t) {
+            bool match = true;
+            for (int k = 0; k < 4; ++k) {
+                if (text[t + k] != pats[p * 4 + k]) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                ++matches;
+                poslog[cursor & 255] = static_cast<Word>(t);
+                ++cursor;
+            }
+        }
+        counts[p] = matches;
+    }
+
+    std::string err = compareArray(prog, g, "counts", counts);
+    if (err.empty())
+        err = compareArray(prog, g, "poslog", poslog);
+    return err;
+}
+
+// ----------------------------------------------------------------------
+// adpcm_encode
+// ----------------------------------------------------------------------
+
+std::string
+checkAdpcm(const Program &prog, const GoldenResult &g)
+{
+    static const int32_t step_tab[89] = {
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31,
+        34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130,
+        143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+        449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282,
+        1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327,
+        3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+        9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350,
+        22385, 24623, 27086, 29794, 32767};
+    static const int32_t idx_tab[16] = {-1, -1, -1, -1, 2, 4, 6, 8,
+                                        -1, -1, -1, -1, 2, 4, 6, 8};
+
+    std::vector<Word> raw = randWords(6144, 707, -8000, 8000);
+    std::vector<Word> out(raw.size(), 0);
+    int32_t valpred = 0;
+    int32_t index = 0;
+
+    for (size_t i = 0; i < raw.size(); ++i) {
+        int32_t sample = static_cast<int32_t>(raw[i]);
+        int32_t step = step_tab[index];
+        int32_t diff = sample - valpred;
+        int32_t sign = 0;
+        if (diff < 0) {
+            sign = 8;
+            diff = -diff;
+        }
+        int32_t delta = 0;
+        int32_t vpdiff = step >> 3;
+        if (diff >= step) {
+            delta |= 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+        valpred = sign ? valpred - vpdiff : valpred + vpdiff;
+        valpred = std::clamp(valpred, -32768, 32767);
+        delta |= sign;
+        out[i] = static_cast<Word>(delta);
+        index = std::clamp(index + idx_tab[delta], 0, 88);
+    }
+    return compareArray(prog, g, "out", out);
+}
+
+// ----------------------------------------------------------------------
+// basicmath
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+int32_t
+goldenIsqrt(int32_t n)
+{
+    if (n < 2)
+        return n;
+    int32_t x = n;
+    int32_t y = (x + n / x) >> 1;
+    while (y < x) {
+        x = y;
+        y = (x + n / x) >> 1;
+    }
+    return x;
+}
+
+int32_t
+goldenGcd(int32_t a, int32_t b)
+{
+    while (b != 0) {
+        int32_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+std::string
+checkBasicmath(const Program &prog, const GoldenResult &g)
+{
+    std::vector<Word> a = randWords(2048, 808, 1, 100000);
+    std::vector<Word> b = randWords(2048, 809, 1, 100000);
+    std::vector<Word> acc(128, 0);
+    std::vector<Word> sq(1024, 0);
+
+    for (size_t i = 0; i < a.size(); ++i) {
+        int32_t s = goldenIsqrt(static_cast<int32_t>(a[i]));
+        int32_t gc = goldenGcd(static_cast<int32_t>(a[i]),
+                               static_cast<int32_t>(b[i]));
+        Word v = static_cast<Word>(s + gc);
+        acc[i & 127] += v;
+        sq[i & 1023] = v;
+    }
+
+    std::string err = compareArray(prog, g, "acc", acc);
+    if (err.empty())
+        err = compareArray(prog, g, "sq", sq);
+    return err;
+}
+
+// ----------------------------------------------------------------------
+// blowfish
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+struct BlowfishState
+{
+    std::vector<Word> p;
+    std::vector<Word> s0;
+    std::vector<Word> s1;
+
+    Word
+    f(Word x) const
+    {
+        return (s0[(x >> 16) & 255] + s1[(x >> 8) & 255]) ^
+               s0[x & 255];
+    }
+
+    void
+    encrypt(Word &l, Word &r) const
+    {
+        for (int i = 0; i < 16; ++i) {
+            l ^= p[i];
+            r ^= f(l);
+            std::swap(l, r);
+        }
+        std::swap(l, r);
+        r ^= p[16];
+        l ^= p[17];
+    }
+};
+
+} // namespace
+
+std::string
+checkBlowfish(const Program &prog, const GoldenResult &g)
+{
+    BlowfishState bf;
+    bf.p = randWords(18, 909, 0, 4294967295ll);
+    bf.s0 = randWords(256, 910, 0, 4294967295ll);
+    bf.s1 = randWords(256, 911, 0, 4294967295ll);
+    std::vector<Word> data = randWords(768, 912, 0, 4294967295ll);
+    const Word key[4] = {0x12345678u, 0x9abcdef0u, 0x0fedcba9u,
+                         0x87654321u};
+
+    for (int i = 0; i < 18; ++i)
+        bf.p[i] ^= key[i % 4];
+
+    Word l = 0, r = 0;
+    for (int i = 0; i < 9; ++i) {
+        bf.encrypt(l, r);
+        bf.p[2 * i] = l;
+        bf.p[2 * i + 1] = r;
+    }
+    for (int i = 0; i < 128; ++i) {
+        bf.encrypt(l, r);
+        bf.s0[2 * i] = l;
+        bf.s0[2 * i + 1] = r;
+    }
+    for (int i = 0; i < 128; ++i) {
+        bf.encrypt(l, r);
+        bf.s1[2 * i] = l;
+        bf.s1[2 * i + 1] = r;
+    }
+
+    Word pl = 0x13579bdfu, pr = 0x2468ace0u;
+    for (size_t i = 0; i < data.size() / 2; ++i) {
+        Word cl = data[2 * i] ^ pl;
+        Word cr = data[2 * i + 1] ^ pr;
+        bf.encrypt(cl, cr);
+        data[2 * i] = cl;
+        data[2 * i + 1] = cr;
+        pl = cl;
+        pr = cr;
+    }
+
+    std::string err = compareArray(prog, g, "p", bf.p);
+    if (err.empty())
+        err = compareArray(prog, g, "s0", bf.s0);
+    if (err.empty())
+        err = compareArray(prog, g, "s1", bf.s1);
+    if (err.empty())
+        err = compareArray(prog, g, "data", data);
+    return err;
+}
+
+// ----------------------------------------------------------------------
+// picojpeg
+// ----------------------------------------------------------------------
+
+std::string
+checkPicojpeg(const Program &prog, const GoldenResult &g)
+{
+    static const int kZigzag[64] = {
+        0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+        12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+        35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44,
+        51, 58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55,
+        62, 63};
+
+    std::vector<Word> qtab = randWords(64, 111, 1, 32);
+    std::vector<Word> cmat = randWords(64, 112, 0, 255);
+    std::vector<Word> coef = randWords(1536, 113, -128, 127);
+    std::vector<Word> out(1536, 0);
+
+    int32_t blk[64], tmp[64];
+    for (int b = 0; b < 24; ++b) {
+        for (int k = 0; k < 64; ++k)
+            blk[kZigzag[k]] = static_cast<int32_t>(coef[b * 64 + k]) *
+                              static_cast<int32_t>(qtab[k]);
+        for (int r = 0; r < 8; ++r) {
+            for (int j = 0; j < 8; ++j) {
+                int32_t s = 0;
+                for (int k = 0; k < 8; ++k)
+                    s += blk[r * 8 + k] *
+                         static_cast<int32_t>(cmat[k * 8 + j]);
+                tmp[r * 8 + j] = s >> 8;
+            }
+        }
+        for (int i = 0; i < 8; ++i) {
+            for (int j = 0; j < 8; ++j) {
+                int32_t s = 0;
+                for (int k = 0; k < 8; ++k)
+                    s += static_cast<int32_t>(cmat[k * 8 + i]) *
+                         tmp[k * 8 + j];
+                s = (s >> 8) + 128;
+                s = std::clamp(s, 0, 255);
+                out[b * 64 + i * 8 + j] = static_cast<Word>(s);
+            }
+        }
+    }
+    return compareArray(prog, g, "out", out);
+}
+
+} // namespace nvmr

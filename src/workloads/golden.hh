@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Helpers shared by the per-workload golden checks: reading the final
+ * data segment of a continuous run and regenerating the seeded .rand
+ * inputs exactly as the assembler produced them.
+ */
+
+#ifndef NVMR_WORKLOADS_GOLDEN_HH
+#define NVMR_WORKLOADS_GOLDEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** Read a little-endian word from a golden run's data image. */
+Word goldenWord(const GoldenResult &golden, Addr addr);
+
+/** Read n consecutive words. */
+std::vector<Word> goldenWords(const GoldenResult &golden, Addr addr,
+                              size_t n);
+
+/** Regenerate the words a `.rand n seed lo hi` directive produced. */
+std::vector<Word> randWords(size_t n, uint64_t seed, int64_t lo,
+                            int64_t hi);
+
+/** Format a mismatch message for check functions. */
+std::string mismatchAt(const std::string &what, size_t index,
+                       Word expect, Word got);
+
+// Per-workload checks (defined in golden.cc).
+std::string checkQsort(const Program &prog, const GoldenResult &g);
+std::string checkHist(const Program &prog, const GoldenResult &g);
+std::string check2dconv(const Program &prog, const GoldenResult &g);
+std::string checkDwt(const Program &prog, const GoldenResult &g);
+std::string checkDijkstra(const Program &prog, const GoldenResult &g);
+std::string checkStringsearch(const Program &prog,
+                              const GoldenResult &g);
+std::string checkAdpcm(const Program &prog, const GoldenResult &g);
+std::string checkBasicmath(const Program &prog, const GoldenResult &g);
+std::string checkBlowfish(const Program &prog, const GoldenResult &g);
+std::string checkPicojpeg(const Program &prog, const GoldenResult &g);
+
+} // namespace nvmr
+
+#endif // NVMR_WORKLOADS_GOLDEN_HH

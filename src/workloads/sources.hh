@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Assembly source accessors, one per workload translation unit.
+ */
+
+#ifndef NVMR_WORKLOADS_SOURCES_HH
+#define NVMR_WORKLOADS_SOURCES_HH
+
+namespace nvmr
+{
+
+const char *asmAdpcmSource();
+const char *asmBasicmathSource();
+const char *asmBlowfishSource();
+const char *asmDijkstraSource();
+const char *asmPicojpegSource();
+const char *asmQsortSource();
+const char *asmStringsearchSource();
+const char *asm2dconvSource();
+const char *asmDwtSource();
+const char *asmHistSource();
+
+} // namespace nvmr
+
+#endif // NVMR_WORKLOADS_SOURCES_HH

@@ -1,0 +1,45 @@
+#include "workloads/workloads.hh"
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "workloads/golden.hh"
+#include "workloads/sources.hh"
+
+namespace nvmr
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> workloads = {
+        {"adpcm_encode", asmAdpcmSource(), &checkAdpcm},
+        {"basicmath", asmBasicmathSource(), &checkBasicmath},
+        {"blowfish", asmBlowfishSource(), &checkBlowfish},
+        {"dijkstra", asmDijkstraSource(), &checkDijkstra},
+        {"picojpeg", asmPicojpegSource(), &checkPicojpeg},
+        {"qsort", asmQsortSource(), &checkQsort},
+        {"stringsearch", asmStringsearchSource(), &checkStringsearch},
+        {"2dconv", asm2dconvSource(), &check2dconv},
+        {"dwt", asmDwtSource(), &checkDwt},
+        {"hist", asmHistSource(), &checkHist},
+    };
+    return workloads;
+}
+
+const WorkloadInfo &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '", name, "'");
+}
+
+Program
+assembleWorkload(const std::string &name)
+{
+    const WorkloadInfo &info = findWorkload(name);
+    return assemble(info.name, info.source);
+}
+
+} // namespace nvmr

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The ten evaluation workloads (Section 5.3): seven MiBench-style
+ * kernels (adpcm_encode, basicmath, blowfish, dijkstra, picojpeg,
+ * qsort, stringsearch) and three PERFECT-suite kernels (2dconv, dwt,
+ * hist), all re-written in iisa assembly with deterministic synthetic
+ * inputs (DESIGN.md substitution 2). Every workload ships a C++
+ * golden check that recomputes the kernel's expected output from the
+ * same seeded inputs and compares it against an execution's final
+ * data segment.
+ */
+
+#ifndef NVMR_WORKLOADS_WORKLOADS_HH
+#define NVMR_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** One registered workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    const char *source;
+
+    /**
+     * Algorithmic golden check: recompute the kernel in C++ from the
+     * seeded inputs and compare. Returns an empty string on success,
+     * else a description of the first mismatch.
+     */
+    std::string (*check)(const Program &prog,
+                         const GoldenResult &golden);
+};
+
+/** All ten workloads, in the paper's reporting order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Look up one workload; fatal() if unknown. */
+const WorkloadInfo &findWorkload(const std::string &name);
+
+/** Assemble a workload's program image. */
+Program assembleWorkload(const std::string &name);
+
+} // namespace nvmr
+
+#endif // NVMR_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Unit tests for the iisa two-pass assembler: directives, labels,
+ * pseudo-instructions, operand forms and error-free encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/xorshift.hh"
+#include "isa/assembler.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(Assembler, EncodesRType)
+{
+    Program p = assemble("t", R"(
+        add r1, r2, r3
+        sub r4, r5, r6
+        halt
+    )");
+    ASSERT_EQ(p.text.size(), 3u);
+    EXPECT_EQ(p.text[0].op, Op::ADD);
+    EXPECT_EQ(p.text[0].rd, 1u);
+    EXPECT_EQ(p.text[0].rs1, 2u);
+    EXPECT_EQ(p.text[0].rs2, 3u);
+    EXPECT_EQ(p.text[1].op, Op::SUB);
+    EXPECT_EQ(p.text[2].op, Op::HALT);
+}
+
+TEST(Assembler, EncodesITypeWithNegativeImmediate)
+{
+    Program p = assemble("t", "addi r1, r2, -42\nhalt\n");
+    EXPECT_EQ(p.text[0].op, Op::ADDI);
+    EXPECT_EQ(p.text[0].imm, -42);
+}
+
+TEST(Assembler, EncodesHexImmediate)
+{
+    Program p = assemble("t", "li r1, 0x3fffffff\nhalt\n");
+    EXPECT_EQ(p.text[0].op, Op::LUI);
+    EXPECT_EQ(p.text[0].imm, 0x3fffffff);
+}
+
+TEST(Assembler, EncodesMemoryOperands)
+{
+    Program p = assemble("t", R"(
+        ld r1, 8(r2)
+        st r3, -4(r4)
+        ldb r5, 0(r6)
+        stb r7, 1(r8)
+        halt
+    )");
+    EXPECT_EQ(p.text[0].op, Op::LD);
+    EXPECT_EQ(p.text[0].rd, 1u);
+    EXPECT_EQ(p.text[0].rs1, 2u);
+    EXPECT_EQ(p.text[0].imm, 8);
+    EXPECT_EQ(p.text[1].op, Op::ST);
+    EXPECT_EQ(p.text[1].rs2, 3u);
+    EXPECT_EQ(p.text[1].rs1, 4u);
+    EXPECT_EQ(p.text[1].imm, -4);
+    EXPECT_EQ(p.text[2].op, Op::LDB);
+    EXPECT_EQ(p.text[3].op, Op::STB);
+    EXPECT_EQ(p.text[3].rs2, 7u);
+}
+
+TEST(Assembler, ResolvesTextLabels)
+{
+    Program p = assemble("t", R"(
+main:
+        jmp target
+        nop
+target:
+        halt
+    )");
+    EXPECT_EQ(p.text[0].op, Op::JMP);
+    EXPECT_EQ(p.text[0].imm, 2);
+    EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, ResolvesDataLabelsWithOffsets)
+{
+    Program p = assemble("t", R"(
+        .data
+a:      .word 1 2 3
+b:      .word 4
+        .text
+        li r1, a
+        li r2, b
+        li r3, a+8
+        halt
+    )");
+    EXPECT_EQ(p.text[0].imm, 0);
+    EXPECT_EQ(p.text[1].imm, 12);
+    EXPECT_EQ(p.text[2].imm, 8);
+    EXPECT_EQ(p.initialWord(0), 1u);
+    EXPECT_EQ(p.initialWord(8), 3u);
+    EXPECT_EQ(p.initialWord(12), 4u);
+}
+
+TEST(Assembler, WordDirectiveAcceptsLabelReferences)
+{
+    Program p = assemble("t", R"(
+        .data
+ptrs:   .word tail 0
+tail:   .word 99
+        .text
+        halt
+    )");
+    EXPECT_EQ(p.initialWord(0), 8u); // address of tail
+    EXPECT_EQ(p.initialWord(8), 99u);
+}
+
+TEST(Assembler, SpaceZeroFills)
+{
+    Program p = assemble("t", R"(
+        .data
+buf:    .space 16
+        .text
+        halt
+    )");
+    ASSERT_EQ(p.dataSize(), 16u);
+    for (Addr a = 0; a < 16; a += 4)
+        EXPECT_EQ(p.initialWord(a), 0u);
+}
+
+TEST(Assembler, RandMatchesXorShift)
+{
+    Program p = assemble("t", R"(
+        .data
+r:      .rand 8 42 0 1000
+        .text
+        halt
+    )");
+    XorShift rng(42);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(p.initialWord(i * 4),
+                  static_cast<Word>(rng.range(0, 1000)));
+}
+
+TEST(Assembler, RandSupportsNegativeRanges)
+{
+    Program p = assemble("t", R"(
+        .data
+r:      .rand 4 7 -100 -1
+        .text
+        halt
+    )");
+    XorShift rng(7);
+    for (unsigned i = 0; i < 4; ++i) {
+        Word expect = static_cast<Word>(rng.range(-100, -1));
+        EXPECT_EQ(p.initialWord(i * 4), expect);
+        EXPECT_LT(static_cast<SWord>(expect), 0);
+    }
+}
+
+TEST(Assembler, AsciizAppendsNul)
+{
+    Program p = assemble("t", R"(
+        .data
+s:      .asciiz "ab"
+        .text
+        halt
+    )");
+    EXPECT_EQ(p.data.size(), 3u);
+    EXPECT_EQ(p.data[0], 'a');
+    EXPECT_EQ(p.data[1], 'b');
+    EXPECT_EQ(p.data[2], 0u);
+}
+
+TEST(Assembler, AlignPadsData)
+{
+    Program p = assemble("t", R"(
+        .data
+s:      .asciiz "abc"
+        .align 4
+w:      .word 5
+        .text
+        halt
+    )");
+    EXPECT_EQ(p.labelOf("w"), 4u);
+    EXPECT_EQ(p.initialWord(4), 5u);
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assemble("t", R"(
+        nop
+        mv r1, r2
+        neg r3, r4
+        not r5, r6
+        call fn
+        ret
+        bgt r1, r2, fn
+        ble r1, r2, fn
+fn:
+        halt
+    )");
+    EXPECT_EQ(p.text[0].op, Op::ADDI);
+    EXPECT_EQ(p.text[0].rd, kRegZero);
+    EXPECT_EQ(p.text[1].op, Op::ADDI);
+    EXPECT_EQ(p.text[1].rs1, 2u);
+    EXPECT_EQ(p.text[2].op, Op::SUB);
+    EXPECT_EQ(p.text[2].rs1, kRegZero);
+    EXPECT_EQ(p.text[3].op, Op::XORI);
+    EXPECT_EQ(p.text[3].imm, -1);
+    EXPECT_EQ(p.text[4].op, Op::JAL);
+    EXPECT_EQ(p.text[4].rd, kRegRa);
+    EXPECT_EQ(p.text[5].op, Op::JR);
+    EXPECT_EQ(p.text[5].rs1, kRegRa);
+    // bgt a,b -> blt b,a ; ble a,b -> bge b,a
+    EXPECT_EQ(p.text[6].op, Op::BLT);
+    EXPECT_EQ(p.text[6].rs1, 2u);
+    EXPECT_EQ(p.text[6].rs2, 1u);
+    EXPECT_EQ(p.text[7].op, Op::BGE);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble("t", R"(
+        add r1, zero, sp
+        jr ra
+        halt
+    )");
+    EXPECT_EQ(p.text[0].rs1, kRegZero);
+    EXPECT_EQ(p.text[0].rs2, kRegSp);
+    EXPECT_EQ(p.text[1].rs1, kRegRa);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble("t", R"(
+# leading comment
+        nop           # trailing comment
+        ; alt comment style
+
+        halt
+    )");
+    EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, MultipleLabelsOnOneLine)
+{
+    Program p = assemble("t", R"(
+a: b:   nop
+        halt
+    )");
+    EXPECT_EQ(p.labelOf("a"), 0u);
+    EXPECT_EQ(p.labelOf("b"), 0u);
+}
+
+TEST(Assembler, EntryDefaultsToMainLabel)
+{
+    Program p = assemble("t", R"(
+        nop
+main:
+        halt
+    )");
+    EXPECT_EQ(p.entry, 1u);
+}
+
+TEST(Assembler, DisassembleRoundTripNames)
+{
+    Program p = assemble("t", R"(
+        add r1, r2, r3
+        ld r4, 8(r5)
+        beq r6, r7, 0
+        halt
+    )");
+    EXPECT_EQ(disassemble(p.text[0]), "add r1, r2, r3");
+    EXPECT_EQ(disassemble(p.text[1]), "ld r4, 8(r5)");
+    EXPECT_EQ(disassemble(p.text[2]), "beq r6, r7, 0");
+    EXPECT_EQ(disassemble(p.text[3]), "halt");
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the ASCII bar-chart renderer used by the figure
+ * harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/barchart.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(BarChart, ScalesToWidth)
+{
+    BarChart chart("%", 10);
+    chart.add("a", 100.0);
+    chart.add("b", 50.0);
+    std::string out = chart.render();
+    EXPECT_NE(out.find("|##########"), std::string::npos);
+    EXPECT_NE(out.find("|#####"), std::string::npos);
+    EXPECT_NE(out.find("100.0%"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+}
+
+TEST(BarChart, NegativeBarsExtendLeft)
+{
+    BarChart chart("%", 10);
+    chart.add("win", 20.0);
+    chart.add("loss", -10.0);
+    std::string out = chart.render();
+    // Negative bar: hashes before the axis.
+    EXPECT_NE(out.find("#####|"), std::string::npos);
+    EXPECT_NE(out.find("-10.0%"), std::string::npos);
+}
+
+TEST(BarChart, AxisIsAlignedAcrossRows)
+{
+    BarChart chart("", 4);
+    chart.add("x", 1.0);
+    chart.add("longer", 1.0);
+    std::string out = chart.render();
+    size_t nl = out.find('\n');
+    std::string line1 = out.substr(0, nl);
+    std::string line2 = out.substr(nl + 1);
+    EXPECT_EQ(line1.find('|'), line2.find('|'));
+}
+
+TEST(BarChart, EmptyChartRendersNothing)
+{
+    BarChart chart;
+    EXPECT_EQ(chart.render(), "");
+}
+
+TEST(BarChart, AllZeroValuesDoNotDivideByZero)
+{
+    BarChart chart("%", 8);
+    chart.add("z", 0.0);
+    std::string out = chart.render();
+    EXPECT_NE(out.find("0.0%"), std::string::npos);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the supercapacitor model: E = 1/2 C V^2 accounting,
+ * thresholds and clamping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/capacitor.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(Capacitor, StartsFull)
+{
+    Capacitor cap(0.1);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 2.4);
+    EXPECT_FALSE(cap.dead());
+    EXPECT_TRUE(cap.canTurnOn());
+}
+
+TEST(Capacitor, EnergyFollowsHalfCVSquared)
+{
+    // 100 mF label compressed by the power law: 8e-4 * 0.1^0.607.
+    Capacitor cap(0.1);
+    double c_eff = cap.effectiveFarads();
+    EXPECT_NEAR(c_eff, 8e-4 * std::pow(0.1, 0.607), 1e-9);
+    EXPECT_NEAR(cap.energyNj(), 0.5 * c_eff * 2.4 * 2.4 * 1e9, 1.0);
+}
+
+TEST(Capacitor, PowerLawPreservesSizeOrderingWithCompression)
+{
+    // The paper's 200x range (500 uF .. 100 mF) compresses to ~25x
+    // but keeps the ordering and rough spacing.
+    Capacitor small(500e-6), big(0.1);
+    double ratio = big.effectiveFarads() / small.effectiveFarads();
+    EXPECT_GT(ratio, 10.0);
+    EXPECT_LT(ratio, 50.0);
+}
+
+TEST(Capacitor, UsableEnergyIsAboveVoff)
+{
+    Capacitor cap(0.1);
+    double c_eff = cap.effectiveFarads();
+    double expect =
+        0.5 * c_eff * (2.4 * 2.4 - 1.8 * 1.8) * 1e9;
+    EXPECT_NEAR(cap.usableNj(), expect, 1.0);
+    cap.setVoltage(1.8);
+    EXPECT_NEAR(cap.usableNj(), 0.0, 1e-6);
+}
+
+TEST(Capacitor, DrainLowersVoltage)
+{
+    Capacitor cap(0.1);
+    double v0 = cap.voltage();
+    cap.drainNj(1000.0);
+    EXPECT_LT(cap.voltage(), v0);
+}
+
+TEST(Capacitor, DrainAndHarvestRoundTrip)
+{
+    Capacitor cap(0.1);
+    cap.setVoltage(2.0);
+    double e0 = cap.energyNj();
+    cap.drainNj(5000.0);
+    EXPECT_NEAR(cap.energyNj(), e0 - 5000.0, 1e-3);
+    cap.harvestNj(5000.0);
+    EXPECT_NEAR(cap.energyNj(), e0, 1e-3);
+}
+
+TEST(Capacitor, HarvestClampsAtVmax)
+{
+    Capacitor cap(0.1);
+    cap.harvestNj(1e12);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 2.4);
+}
+
+TEST(Capacitor, DrainClampsAtZero)
+{
+    Capacitor cap(0.1);
+    cap.drainNj(1e12);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+    EXPECT_TRUE(cap.dead());
+}
+
+TEST(Capacitor, DeadAndTurnOnThresholds)
+{
+    Capacitor cap(0.1);
+    cap.setVoltage(1.9);
+    EXPECT_FALSE(cap.dead());
+    EXPECT_FALSE(cap.canTurnOn());
+    cap.setVoltage(1.8);
+    EXPECT_TRUE(cap.dead());
+    cap.setVoltage(2.2);
+    EXPECT_TRUE(cap.canTurnOn());
+}
+
+TEST(Capacitor, SmallerCapacitorStoresLessEnergy)
+{
+    // Figure 13d's sweep: 500 uF < 7.5 mF < 100 mF.
+    Capacitor small(500e-6), mid(7.5e-3), big(0.1);
+    EXPECT_LT(small.usableNj(), mid.usableNj());
+    EXPECT_LT(mid.usableNj(), big.usableNj());
+}
+
+TEST(Capacitor, HeadroomShrinksAsItCharges)
+{
+    Capacitor cap(0.1);
+    cap.setVoltage(1.9);
+    double h0 = cap.headroomNj();
+    cap.harvestNj(h0 / 2);
+    EXPECT_LT(cap.headroomNj(), h0);
+    cap.harvestNj(h0);
+    EXPECT_NEAR(cap.headroomNj(), 0.0, 1e-6);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Behavioural tests for our-version Clank: violations force backups,
+ * write-dominated evictions do not, backups reset dominance state,
+ * and the GBF keeps evicted read-dominance visible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch_harness.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(Clank, ReadThenWriteEvictionBacksUp)
+{
+    ArchHarness h(ArchKind::Clank);
+    uint64_t base = h.backups();
+
+    h.arch->loadWord(0x100);        // read-dominate the word
+    h.arch->storeWord(0x100, 42);   // dirty the block
+    h.evict(0x100);                 // violating eviction
+
+    EXPECT_EQ(h.violations(), 1u);
+    EXPECT_EQ(h.backups(), base + 1);
+    // The backup persisted the block home.
+    EXPECT_EQ(h.nvm->peekWord(0x100), 42u);
+}
+
+TEST(Clank, WriteFirstEvictionDoesNotBackUp)
+{
+    ArchHarness h(ArchKind::Clank);
+    uint64_t base = h.backups();
+
+    h.arch->storeWord(0x100, 7);    // write-dominated
+    h.evict(0x100);
+
+    EXPECT_EQ(h.violations(), 0u);
+    EXPECT_EQ(h.backups(), base);
+    // Still written back (normal write-dominated writeback).
+    EXPECT_EQ(h.nvm->peekWord(0x100), 7u);
+}
+
+TEST(Clank, CleanEvictionNeverBacksUp)
+{
+    ArchHarness h(ArchKind::Clank);
+    uint64_t base = h.backups();
+    h.arch->loadWord(0x100);
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 0u);
+    EXPECT_EQ(h.backups(), base);
+}
+
+TEST(Clank, BackupResetsDominanceState)
+{
+    ArchHarness h(ArchKind::Clank);
+    h.arch->loadWord(0x100);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    // New code section: a store is now the first access.
+    h.arch->storeWord(0x100, 9);
+    uint64_t base = h.backups();
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 0u);
+    EXPECT_EQ(h.backups(), base);
+}
+
+TEST(Clank, GbfKeepsEvictedReadDominanceVisible)
+{
+    ArchHarness h(ArchKind::Clank);
+    // Read, evict clean (GBF records read-dominance), refetch and
+    // store: without the GBF the LBF would claim write-dominance.
+    h.arch->loadWord(0x100);
+    h.evict(0x100);
+    h.arch->storeWord(0x100, 5);
+    uint64_t base = h.backups();
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 1u);
+    EXPECT_EQ(h.backups(), base + 1);
+}
+
+TEST(Clank, BackupPersistsAllDirtyBlocks)
+{
+    ArchHarness h(ArchKind::Clank);
+    h.arch->storeWord(0x200, 1);
+    h.arch->storeWord(0x300, 2);
+    h.arch->storeWord(0x404, 3);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    EXPECT_EQ(h.nvm->peekWord(0x200), 1u);
+    EXPECT_EQ(h.nvm->peekWord(0x300), 2u);
+    EXPECT_EQ(h.nvm->peekWord(0x404), 3u);
+    EXPECT_EQ(h.arch->dataCache().dirtyCount(), 0u);
+}
+
+TEST(Clank, PowerFailDropsVolatileState)
+{
+    ArchHarness h(ArchKind::Clank);
+    h.arch->storeWord(0x200, 99);   // dirty, never persisted
+    h.arch->onPowerFail();
+    // The cache is gone; the load must see the NVM value (0).
+    EXPECT_EQ(h.arch->loadWord(0x200), 0u);
+}
+
+TEST(Clank, RestoreReturnsPersistedSnapshot)
+{
+    ArchHarness h(ArchKind::Clank);
+    CpuSnapshot snap;
+    snap.pc = 123;
+    snap.regs[5] = 77;
+    h.arch->performBackup(snap, BackupReason::Policy);
+    h.arch->onPowerFail();
+    CpuSnapshot restored = h.arch->performRestore();
+    EXPECT_EQ(restored.pc, 123u);
+    EXPECT_EQ(restored.regs[5], 77u);
+}
+
+TEST(Clank, BackupCostGrowsWithDirtyBlocks)
+{
+    ArchHarness h(ArchKind::Clank);
+    NanoJoules clean_cost = h.arch->backupCostNowNj();
+    h.arch->storeWord(0x200, 1);
+    h.arch->storeWord(0x300, 2);
+    NanoJoules dirty_cost = h.arch->backupCostNowNj();
+    EXPECT_GT(dirty_cost, clean_cost);
+}
+
+TEST(Clank, InspectWordSeesCacheAndNvm)
+{
+    ArchHarness h(ArchKind::Clank);
+    h.arch->storeWord(0x200, 5);
+    EXPECT_EQ(h.arch->inspectWord(0x200), 5u); // still only in cache
+    EXPECT_EQ(h.nvm->peekWord(0x200), 0u);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    EXPECT_EQ(h.arch->inspectWord(0x200), 5u);
+}
+
+TEST(Clank, ByteStoresTrackWordDominance)
+{
+    ArchHarness h(ArchKind::Clank);
+    h.arch->loadByte(0x101);        // read-dominates the word
+    h.arch->storeByte(0x102, 0xee); // same word: violation pending
+    uint64_t base = h.backups();
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 1u);
+    EXPECT_EQ(h.backups(), base + 1);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests that the default SystemConfig reproduces Table 2 (and
+ * Table 4), and that the derived-parameter helpers behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(Config, Table2Defaults)
+{
+    SystemConfig cfg;
+    // Data cache: 256 B, 8-way, 16 B blocks.
+    EXPECT_EQ(cfg.cache.sizeBytes, 256u);
+    EXPECT_EQ(cfg.cache.ways, 8u);
+    EXPECT_EQ(cfg.cache.blockBytes, 16u);
+    // GBF: 8 one-bit entries. LBF: 4 two-bit entries per line
+    // (implied by 16 B blocks / 4 B words).
+    EXPECT_EQ(cfg.gbfBits, 8u);
+    EXPECT_EQ(cfg.cache.wordsPerBlock(), 4u);
+    // Map table cache: 512 entries, 8-way.
+    EXPECT_EQ(cfg.mtCacheEntries, 512u);
+    EXPECT_EQ(cfg.mtCacheWays, 8u);
+    // Map table: 4096 entries.
+    EXPECT_EQ(cfg.mapTableEntries, 4096u);
+    // Flash: 2 MB. Supercap: 100 mF, 2.4 V max.
+    EXPECT_EQ(cfg.nvmBytes, 2u << 20);
+    EXPECT_DOUBLE_EQ(cfg.capacitorFarads, 0.1);
+    EXPECT_DOUBLE_EQ(cfg.vMax, 2.4);
+}
+
+TEST(Config, WorstCaseFreeListSizing)
+{
+    // Section 5.1: #mappings = #map table + #map table cache + 1.
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.effectiveFreeListEntries(), 4096u + 512u + 1u);
+    cfg.freeListEntries = 99;
+    EXPECT_EQ(cfg.effectiveFreeListEntries(), 99u);
+}
+
+TEST(Config, ReclaimBatchDefaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.effectiveReclaimBatch(), 4096u / 8u);
+    cfg.reclaimBatch = 7;
+    EXPECT_EQ(cfg.effectiveReclaimBatch(), 7u);
+    cfg.reclaimBatch = 0;
+    cfg.mapTableEntries = 4; // batch would round to zero
+    EXPECT_EQ(cfg.effectiveReclaimBatch(), 1u);
+}
+
+TEST(Config, Table4HoopDefaults)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.oopBufferEntries, 128u);
+    EXPECT_EQ(cfg.oopRegionEntries, 2048u);
+}
+
+TEST(Config, OriginalClankBuffersMatchCacheBudget)
+{
+    // 32 + 32 word addresses ~ the 256 B cache's 64 words of data.
+    SystemConfig cfg;
+    EXPECT_EQ((cfg.rfBufferEntries + cfg.wfBufferEntries) *
+                  kWordBytes,
+              cfg.cache.sizeBytes);
+}
+
+TEST(Config, AtomicityModeledByDefault)
+{
+    SystemConfig cfg;
+    EXPECT_TRUE(cfg.modelBackupAtomicity);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the CPU interpreter/timing model: instruction
+ * semantics, branches, calls, memory access, snapshots and the
+ * hardwired zero register.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/cpu.hh"
+#include "isa/assembler.hh"
+#include "mem/port.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+/** Simple flat test memory. */
+class TestPort : public DataPort
+{
+  public:
+    explicit TestPort(size_t size = 4096) : mem(size, 0) {}
+
+    Word
+    loadWord(Addr a) override
+    {
+        Word w = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            w |= static_cast<Word>(mem.at(a + i)) << (8 * i);
+        return w;
+    }
+
+    void
+    storeWord(Addr a, Word v) override
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            mem.at(a + i) = static_cast<uint8_t>(v >> (8 * i));
+    }
+
+    uint8_t loadByte(Addr a) override { return mem.at(a); }
+    void storeByte(Addr a, uint8_t v) override { mem.at(a) = v; }
+
+    std::vector<uint8_t> mem;
+};
+
+/** Run a source program to completion; returns the CPU for checks. */
+struct RunHarness
+{
+    Program prog;
+    TestPort port;
+    Cpu cpu;
+
+    explicit RunHarness(const std::string &src)
+        : prog(assemble("t", src)), port(), cpu(prog, port)
+    {
+        for (size_t i = 0; i < prog.data.size(); ++i)
+            port.mem[i] = prog.data[i];
+    }
+
+    uint64_t
+    runToHalt(uint64_t max_steps = 100000)
+    {
+        uint64_t steps = 0;
+        while (!cpu.halted() && steps < max_steps) {
+            cpu.step();
+            ++steps;
+        }
+        EXPECT_TRUE(cpu.halted()) << "program did not halt";
+        return steps;
+    }
+};
+
+TEST(Cpu, ArithmeticBasics)
+{
+    RunHarness h(R"(
+        li   r1, 7
+        li   r2, 5
+        add  r3, r1, r2
+        sub  r4, r1, r2
+        mul  r5, r1, r2
+        div  r6, r1, r2
+        rem  r7, r1, r2
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 12u);
+    EXPECT_EQ(h.cpu.reg(4), 2u);
+    EXPECT_EQ(h.cpu.reg(5), 35u);
+    EXPECT_EQ(h.cpu.reg(6), 1u);
+    EXPECT_EQ(h.cpu.reg(7), 2u);
+}
+
+TEST(Cpu, SignedDivisionSemantics)
+{
+    RunHarness h(R"(
+        li   r1, -7
+        li   r2, 2
+        div  r3, r1, r2
+        rem  r4, r1, r2
+        li   r5, 5
+        div  r6, r5, r0
+        rem  r7, r5, r0
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(static_cast<SWord>(h.cpu.reg(3)), -3);
+    EXPECT_EQ(static_cast<SWord>(h.cpu.reg(4)), -1);
+    // Division by zero: quotient -1, remainder = dividend.
+    EXPECT_EQ(h.cpu.reg(6), 0xffffffffu);
+    EXPECT_EQ(h.cpu.reg(7), 5u);
+}
+
+TEST(Cpu, ShiftsAndLogic)
+{
+    RunHarness h(R"(
+        li   r1, -8
+        srai r2, r1, 1
+        srli r3, r1, 28
+        slli r4, r1, 1
+        li   r5, 0xf0
+        andi r6, r5, 0x3c
+        ori  r7, r5, 0x0f
+        xori r8, r5, 0xff
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(static_cast<SWord>(h.cpu.reg(2)), -4);
+    EXPECT_EQ(h.cpu.reg(3), 0xfu);
+    EXPECT_EQ(static_cast<SWord>(h.cpu.reg(4)), -16);
+    EXPECT_EQ(h.cpu.reg(6), 0x30u);
+    EXPECT_EQ(h.cpu.reg(7), 0xffu);
+    EXPECT_EQ(h.cpu.reg(8), 0x0fu);
+}
+
+TEST(Cpu, SetLessThan)
+{
+    RunHarness h(R"(
+        li   r1, -1
+        li   r2, 1
+        slt  r3, r1, r2
+        sltu r4, r1, r2
+        slti r5, r2, 10
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 1u);  // signed: -1 < 1
+    EXPECT_EQ(h.cpu.reg(4), 0u);  // unsigned: 0xffffffff > 1
+    EXPECT_EQ(h.cpu.reg(5), 1u);
+}
+
+TEST(Cpu, ZeroRegisterIsHardwired)
+{
+    RunHarness h(R"(
+        li   r0, 99
+        addi r1, r0, 3
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(0), 0u);
+    EXPECT_EQ(h.cpu.reg(1), 3u);
+}
+
+TEST(Cpu, BranchesTakenAndNotTaken)
+{
+    RunHarness h(R"(
+        li   r1, 5
+        li   r2, 5
+        li   r3, 0
+        bne  r1, r2, bad
+        beq  r1, r2, good
+bad:
+        li   r3, 111
+        halt
+good:
+        li   r3, 222
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 222u);
+}
+
+TEST(Cpu, SignedVsUnsignedBranches)
+{
+    RunHarness h(R"(
+        li   r1, -1
+        li   r2, 1
+        li   r3, 0
+        blt  r1, r2, s1       # signed taken
+        jmp  end
+s1:
+        addi r3, r3, 1
+        bltu r1, r2, u1       # unsigned not taken (0xffffffff > 1)
+        addi r3, r3, 2
+u1:
+end:
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 3u);
+}
+
+TEST(Cpu, CallAndReturn)
+{
+    RunHarness h(R"(
+main:
+        li   r1, 10
+        call double
+        mv   r3, r2
+        call double
+        halt
+double:
+        add  r2, r1, r1
+        mv   r1, r2
+        ret
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 20u);
+    EXPECT_EQ(h.cpu.reg(2), 40u);
+}
+
+TEST(Cpu, LoadStoreWordAndByte)
+{
+    RunHarness h(R"(
+        .data
+buf:    .word 0x11223344 0
+        .text
+        li   r1, buf
+        ld   r2, 0(r1)
+        st   r2, 4(r1)
+        ldb  r3, 1(r1)
+        li   r4, 0xaa
+        stb  r4, 6(r1)
+        ld   r5, 4(r1)
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(2), 0x11223344u);
+    EXPECT_EQ(h.cpu.reg(3), 0x33u);
+    EXPECT_EQ(h.cpu.reg(5), 0x11aa3344u);
+}
+
+TEST(Cpu, TakenBranchCostsPipelineRefill)
+{
+    Program p = assemble("t", R"(
+        beq  r0, r0, t
+t:      halt
+    )");
+    TestPort port;
+    Cpu cpu(p, port);
+    StepResult r = cpu.step();
+    EXPECT_EQ(r.cycles, 3u); // 1 + 2 refill
+}
+
+TEST(Cpu, SnapshotAndRestoreRoundTrip)
+{
+    RunHarness h(R"(
+        li   r1, 42
+        li   r2, 43
+        halt
+    )");
+    h.cpu.step();
+    CpuSnapshot snap = h.cpu.snapshot();
+    EXPECT_EQ(snap.regs[1], 42u);
+    EXPECT_EQ(snap.pc, 1u);
+
+    h.cpu.step();
+    h.cpu.step();
+    EXPECT_TRUE(h.cpu.halted());
+
+    h.cpu.restore(snap);
+    EXPECT_FALSE(h.cpu.halted());
+    EXPECT_EQ(h.cpu.pc(), 1u);
+    h.cpu.step();
+    EXPECT_EQ(h.cpu.reg(2), 43u);
+}
+
+TEST(Cpu, InstretCountsExecutedInstructions)
+{
+    RunHarness h(R"(
+        li   r1, 3
+loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    uint64_t steps = h.runToHalt();
+    EXPECT_EQ(h.cpu.instret(), steps);
+    EXPECT_EQ(h.cpu.instret(), 1u + 3u * 2u + 1u);
+}
+
+TEST(Cpu, MulOverflowWraps)
+{
+    RunHarness h(R"(
+        li   r1, 0x40000000
+        li   r2, 4
+        mul  r3, r1, r2
+        halt
+    )");
+    h.runToHalt();
+    EXPECT_EQ(h.cpu.reg(3), 0u);
+}
+
+} // namespace
+} // namespace nvmr

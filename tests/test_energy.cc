@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the energy ledger: pending/committed semantics,
+ * dead-energy reclassification and category bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(EnergyAccount, CommittedSpendIsVisibleImmediately)
+{
+    EnergyAccount acc;
+    acc.spendCommitted(ECat::Backup, 100);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Backup), 100);
+    EXPECT_DOUBLE_EQ(acc.grandTotal(), 100);
+}
+
+TEST(EnergyAccount, PendingIsInvisibleUntilCommit)
+{
+    EnergyAccount acc;
+    acc.spendPending(ECat::Forward, 50);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Forward), 0);
+    EXPECT_DOUBLE_EQ(acc.pendingTotal(), 50);
+    acc.commitPending();
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Forward), 50);
+    EXPECT_DOUBLE_EQ(acc.pendingTotal(), 0);
+}
+
+TEST(EnergyAccount, PowerFailureTurnsPendingIntoDead)
+{
+    EnergyAccount acc;
+    acc.spendPending(ECat::Forward, 30);
+    acc.spendPending(ECat::ForwardOverhead, 10);
+    acc.pendingToDead();
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Forward), 0);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::ForwardOverhead), 0);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Dead), 40);
+}
+
+TEST(EnergyAccount, CommitPreservesCategories)
+{
+    EnergyAccount acc;
+    acc.spendPending(ECat::Forward, 30);
+    acc.spendPending(ECat::ForwardOverhead, 10);
+    acc.spendPending(ECat::Reclaim, 5);
+    acc.commitPending();
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Forward), 30);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::ForwardOverhead), 10);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Reclaim), 5);
+}
+
+TEST(EnergyAccount, MixedLifecycle)
+{
+    // Two sections: the first commits, the second dies.
+    EnergyAccount acc;
+    acc.spendPending(ECat::Forward, 100);
+    acc.spendCommitted(ECat::Backup, 20);
+    acc.commitPending();
+    acc.spendPending(ECat::Forward, 60);
+    acc.pendingToDead();
+    acc.spendCommitted(ECat::Restore, 5);
+
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Forward), 100);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Backup), 20);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Dead), 60);
+    EXPECT_DOUBLE_EQ(acc.total(ECat::Restore), 5);
+    EXPECT_DOUBLE_EQ(acc.grandTotal(), 185);
+}
+
+TEST(EnergyAccount, ResetClearsEverything)
+{
+    EnergyAccount acc;
+    acc.spendPending(ECat::Forward, 10);
+    acc.spendCommitted(ECat::Backup, 10);
+    acc.reset();
+    EXPECT_DOUBLE_EQ(acc.grandTotal(), 0);
+    EXPECT_DOUBLE_EQ(acc.pendingTotal(), 0);
+}
+
+TEST(EnergyCategories, NamesAreStable)
+{
+    EXPECT_STREQ(ecatName(ECat::Forward), "forward");
+    EXPECT_STREQ(ecatName(ECat::Dead), "dead");
+    EXPECT_STREQ(ecatName(ECat::BackupOverhead), "backup_overhead");
+    EXPECT_STREQ(ecatName(ECat::Reclaim), "reclaim");
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The central correctness property of the repository: for randomly
+ * generated programs, every intermittent architecture x backup policy
+ * x capacitor size combination must finish with exactly the NVM state
+ * a continuously-powered execution produces — across power failures,
+ * re-execution, renaming and log replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "sim/randprog.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+struct CorrectnessCase
+{
+    ArchKind arch;
+    PolicyKind policy;
+    double farads;
+    uint64_t seed;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<CorrectnessCase> &info)
+{
+    std::ostringstream os;
+    os << archKindName(info.param.arch) << "_"
+       << policyKindName(info.param.policy) << "_"
+       << static_cast<int>(info.param.farads * 1e6) << "uF_s"
+       << info.param.seed;
+    return os.str();
+}
+
+class IntermittentCorrectness
+    : public ::testing::TestWithParam<CorrectnessCase>
+{
+};
+
+TEST_P(IntermittentCorrectness, FinalStateMatchesContinuousRun)
+{
+    const CorrectnessCase &c = GetParam();
+    Program prog = assemble(
+        "rand" + std::to_string(c.seed), makeRandomProgram(c.seed));
+
+    // A tiny capacitor can only make forward progress if the
+    // backup interval, the worst-case (atomic) backup cost and
+    // HOOP's restore-time log GC all fit inside one charge: the
+    // small platform co-sizes every structure with the capacitor
+    // (the paper's watchdog/HOOP runs use the 100 mF default).
+    SystemConfig cfg = c.farads < 1e-3
+                           ? SystemConfig::smallPlatform()
+                           : SystemConfig{};
+    cfg.capacitorFarads = c.farads;
+    // Small structures stress the structural-hazard paths.
+    cfg.mapTableEntries = 64;
+    cfg.mtCacheEntries = 16;
+    cfg.mtCacheWays = 4;
+
+    PolicySpec spec;
+    spec.kind = c.policy;
+    if (c.farads < 1e-3)
+        spec.watchdogPeriod = 300;
+    auto policy = makePolicy(spec);
+
+    HarvestTrace trace(TraceKind::Rf, 4000 + c.seed, 7.0);
+    Simulator sim(prog, c.arch, cfg, *policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed) << "did not complete";
+    EXPECT_TRUE(r.validated) << "final NVM state diverged";
+}
+
+std::vector<CorrectnessCase>
+allCases()
+{
+    std::vector<CorrectnessCase> cases;
+    for (uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+        for (double farads : {0.1, 500e-6}) {
+            for (PolicyKind pol :
+                 {PolicyKind::Jit, PolicyKind::Watchdog}) {
+                cases.push_back(
+                    {ArchKind::Clank, pol, farads, seed});
+                cases.push_back(
+                    {ArchKind::ClankOriginal, pol, farads, seed});
+                cases.push_back({ArchKind::Nvmr, pol, farads, seed});
+                cases.push_back({ArchKind::Hoop, pol, farads, seed});
+            }
+            // The ideal architecture is only safe under perfect JIT.
+            cases.push_back(
+                {ArchKind::Ideal, PolicyKind::Jit, farads, seed});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, IntermittentCorrectness,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(IntermittentCorrectnessExtras, ReclaimModeStaysCorrect)
+{
+    Program prog = assemble("rand13", makeRandomProgram(13));
+    SystemConfig cfg;
+    // A big capacitor keeps JIT backups rare, so renames accumulate
+    // and the (tiny) map table actually fills up.
+    cfg.capacitorFarads = 0.1;
+    cfg.mapTableEntries = 8;
+    cfg.mtCacheEntries = 8;
+    cfg.mtCacheWays = 2;
+    cfg.reclaimEnabled = true;
+    cfg.reclaimBatch = 4;
+
+    JitPolicy policy;
+    HarvestTrace trace(TraceKind::Wind, 555, 7.0);
+    Simulator sim(prog, ArchKind::Nvmr, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.reclaims, 0u);
+}
+
+TEST(IntermittentCorrectnessExtras, TinyOopStructuresStayCorrect)
+{
+    Program prog = assemble("rand11", makeRandomProgram(11));
+    SystemConfig cfg;
+    cfg.capacitorFarads = 500e-6;
+    cfg.oopBufferEntries = 8;
+    cfg.oopRegionEntries = 64;
+
+    WatchdogPolicy policy(8000);
+    HarvestTrace trace(TraceKind::Solar, 777, 7.0);
+    Simulator sim(prog, ArchKind::Hoop, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * End-to-end assembly programs on the continuous interpreter:
+ * classic algorithms with known answers, exercising control flow,
+ * the calling convention, the stack-pointer idiom, byte memory and
+ * arithmetic corner cases together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/golden.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+GoldenResult
+runSrc(const std::string &src)
+{
+    Program prog = assemble("prog", src);
+    GoldenResult g = runContinuous(prog);
+    EXPECT_TRUE(g.halted);
+    return g;
+}
+
+TEST(IsaPrograms, FactorialLoop)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+out:    .word 0
+        .text
+main:
+        li   r1, 1              # acc
+        li   r2, 10             # n
+loop:
+        mul  r1, r1, r2
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        li   r3, out
+        st   r1, 0(r3)
+        halt
+)");
+    EXPECT_EQ(goldenWord(g, 0), 3628800u);
+}
+
+TEST(IsaPrograms, FibonacciSequence)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+fib:    .space 80
+        .text
+main:
+        li   r1, fib
+        li   r2, 0              # f(0)
+        li   r3, 1              # f(1)
+        st   r2, 0(r1)
+        st   r3, 4(r1)
+        li   r4, 2              # i
+loop:
+        add  r5, r2, r3
+        slli r6, r4, 2
+        add  r6, r6, r1
+        st   r5, 0(r6)
+        mv   r2, r3
+        mv   r3, r5
+        addi r4, r4, 1
+        li   r6, 20
+        blt  r4, r6, loop
+        halt
+)");
+    EXPECT_EQ(goldenWord(g, 4 * 10), 55u);
+    EXPECT_EQ(goldenWord(g, 4 * 19), 4181u);
+}
+
+TEST(IsaPrograms, StackDisciplineWithSp)
+{
+    // Push 8 values with the sp convention, pop them reversed.
+    GoldenResult g = runSrc(R"(
+        .data
+out:    .space 32
+stk:    .space 64
+stktop: .word 0
+        .text
+main:
+        li   sp, stktop
+        li   r1, 0
+push:
+        addi sp, sp, -4
+        muli r2, r1, 11
+        st   r2, 0(sp)
+        addi r1, r1, 1
+        li   r3, 8
+        blt  r1, r3, push
+        li   r1, 0
+        li   r4, out
+pop:
+        ld   r2, 0(sp)
+        addi sp, sp, 4
+        slli r5, r1, 2
+        add  r5, r5, r4
+        st   r2, 0(r5)
+        addi r1, r1, 1
+        li   r3, 8
+        blt  r1, r3, pop
+        halt
+)");
+    // Popped in reverse push order: 77, 66, ..., 0.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(goldenWord(g, 4 * i),
+                  static_cast<Word>((7 - i) * 11));
+}
+
+TEST(IsaPrograms, LeafCallsWithReturnValues)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+out:    .word 0 0
+        .text
+main:
+        li   r10, 21
+        call dbl
+        li   r1, out
+        st   r12, 0(r1)
+        li   r10, -5
+        call dbl
+        st   r12, 4(r1)
+        halt
+dbl:
+        add  r12, r10, r10
+        ret
+)");
+    EXPECT_EQ(goldenWord(g, 0), 42u);
+    EXPECT_EQ(static_cast<SWord>(goldenWord(g, 4)), -10);
+}
+
+TEST(IsaPrograms, ByteStringReverse)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+str:    .asciiz "intermittent"
+out:    .space 16
+        .text
+main:
+        li   r1, str
+        li   r2, 0              # strlen
+len:
+        add  r3, r1, r2
+        ldb  r4, 0(r3)
+        beq  r4, r0, copy
+        addi r2, r2, 1
+        jmp  len
+copy:
+        li   r5, out
+        li   r6, 0              # i
+rev:
+        bge  r6, r2, done
+        sub  r7, r2, r6
+        addi r7, r7, -1
+        add  r7, r7, r1
+        ldb  r4, 0(r7)
+        add  r8, r5, r6
+        stb  r4, 0(r8)
+        addi r6, r6, 1
+        jmp  rev
+done:
+        halt
+)");
+    Addr out = 13; // strlen("intermittent") + NUL = 13
+    const char *expect = "tnettimretni";
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(g.data[out + i], static_cast<uint8_t>(expect[i]))
+            << i;
+}
+
+TEST(IsaPrograms, BubbleSortSmallArray)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+arr:    .word 5 2 9 1 7 3 8 4 6 0
+        .text
+main:
+        li   r1, arr
+        li   r2, 0              # pass
+opass:
+        li   r3, 0              # i
+inner:
+        slli r4, r3, 2
+        add  r4, r4, r1
+        ld   r5, 0(r4)
+        ld   r6, 4(r4)
+        ble  r5, r6, next
+        st   r6, 0(r4)
+        st   r5, 4(r4)
+next:
+        addi r3, r3, 1
+        li   r7, 9
+        blt  r3, r7, inner
+        addi r2, r2, 1
+        li   r7, 9
+        blt  r2, r7, opass
+        halt
+)");
+    for (Word i = 0; i < 10; ++i)
+        EXPECT_EQ(goldenWord(g, 4 * i), i);
+}
+
+TEST(IsaPrograms, CollatzStepsOf27)
+{
+    GoldenResult g = runSrc(R"(
+        .data
+out:    .word 0
+        .text
+main:
+        li   r1, 27             # n
+        li   r2, 0              # steps
+loop:
+        li   r3, 1
+        beq  r1, r3, done
+        andi r4, r1, 1
+        beq  r4, r0, even
+        muli r1, r1, 3
+        addi r1, r1, 1
+        jmp  step
+even:
+        srli r1, r1, 1
+step:
+        addi r2, r2, 1
+        jmp  loop
+done:
+        li   r5, out
+        st   r2, 0(r5)
+        halt
+)");
+    EXPECT_EQ(goldenWord(g, 0), 111u); // well-known: 27 needs 111
+}
+
+TEST(IsaPrograms, SameProgramValidatesIntermittently)
+{
+    // The bubble sort also runs intermittently on every architecture
+    // and still produces a sorted array.
+    Program prog = assemble("bsort", R"(
+        .data
+arr:    .rand 64 77 0 999
+        .text
+main:
+        li   r1, arr
+        li   r2, 0
+opass:
+        li   r3, 0
+inner:
+        slli r4, r3, 2
+        add  r4, r4, r1
+        ld   r5, 0(r4)
+        ld   r6, 4(r4)
+        ble  r5, r6, next
+        st   r6, 0(r4)
+        st   r5, 4(r4)
+next:
+        addi r3, r3, 1
+        li   r7, 63
+        blt  r3, r7, inner
+        addi r2, r2, 1
+        li   r7, 63
+        blt  r2, r7, opass
+        halt
+)");
+    SystemConfig cfg;
+    cfg.capacitorFarads = 7.5e-3;
+    HarvestTrace trace(TraceKind::Wind, 3, 7.0);
+    for (ArchKind kind :
+         {ArchKind::Clank, ArchKind::Nvmr, ArchKind::Hoop}) {
+        JitPolicy policy;
+        Simulator sim(prog, kind, cfg, policy, trace);
+        RunResult r = sim.run();
+        ASSERT_TRUE(r.completed) << archKindName(kind);
+        EXPECT_TRUE(r.validated) << archKindName(kind);
+        // Check sortedness through the architecture's own view.
+        for (Addr a = 0; a + 8 <= 64 * 4; a += 4) {
+            EXPECT_LE(sim.archRef().inspectWord(a),
+                      sim.archRef().inspectWord(a + 4))
+                << archKindName(kind) << " at " << a;
+        }
+    }
+}
+
+} // namespace
+} // namespace nvmr

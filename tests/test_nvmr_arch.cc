@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Behavioural tests for the NvMR architecture: renaming instead of
+ * violation backups, the recovery invariant (the persisted mapping of
+ * every block always holds its last-backed-up value), map-table /
+ * free-list lifecycle, structural-hazard backups and reclamation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch_harness.hh"
+#include "core/nvmr_arch.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+NvmrArch &
+nvmrOf(ArchHarness &h)
+{
+    return *static_cast<NvmrArch *>(h.arch.get());
+}
+
+TEST(NvmrArch, ViolatingEvictionRenamesInsteadOfBackingUp)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    uint64_t base = h.backups();
+
+    h.arch->loadWord(0x100);      // home holds 0
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+
+    EXPECT_EQ(h.violations(), 1u);
+    EXPECT_EQ(h.renames(), 1u);
+    EXPECT_EQ(h.backups(), base); // no backup needed
+    // The home address is untouched: it is the recovery image.
+    EXPECT_EQ(h.nvm->peekWord(0x100), 0u);
+    // The renamed location holds the new data.
+    Addr reserved = nvmrOf(h).reservedBase();
+    EXPECT_EQ(h.nvm->peekWord(reserved), 42u);
+}
+
+TEST(NvmrArch, RefetchReadsTheRenamedData)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    EXPECT_EQ(h.arch->loadWord(0x100), 42u);
+    EXPECT_EQ(h.arch->inspectWord(0x100), 42u);
+}
+
+TEST(NvmrArch, PowerLossBeforeBackupDiscardsRename)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100); // renamed, recorded only in the volatile MT$
+    h.arch->onPowerFail();
+    // Recovery: the map table has no entry, so the home address (and
+    // its pre-store value) is what re-execution reads.
+    EXPECT_EQ(h.arch->loadWord(0x100), 0u);
+}
+
+TEST(NvmrArch, BackupPersistsMappingAndRetiresOldOne)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    NvmrArch &arch = nvmrOf(h);
+    uint32_t fl_before = arch.freeListRef().size();
+
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    EXPECT_EQ(arch.freeListRef().size(), fl_before - 1);
+
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    // The map table now maps the block to its renamed location...
+    auto mapping = arch.mapTableRef().peek(0x100);
+    ASSERT_TRUE(mapping.has_value());
+    EXPECT_EQ(*mapping, arch.reservedBase());
+    // ...and the old mapping (the home address) went to the free
+    // list, restoring its size.
+    EXPECT_EQ(arch.freeListRef().size(), fl_before);
+}
+
+TEST(NvmrArch, RenameAfterBackupSurvivesPowerLoss)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    h.arch->onPowerFail();
+    h.arch->performRestore();
+    // The mapping was persisted with the backup: recovery reads 42.
+    EXPECT_EQ(h.arch->loadWord(0x100), 42u);
+}
+
+TEST(NvmrArch, SecondViolationBeforeBackupReusesScratch)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    uint64_t renames_after_first = h.renames();
+
+    // Refetch (reads 42 via the dirty MT$ entry), dirty it again.
+    // The GBF marks it read-dominated again, so the next eviction is
+    // another violation -- but the dirty entry's scratch location can
+    // be overwritten without a fresh rename.
+    h.arch->storeWord(0x100, 43);
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 2u);
+    EXPECT_EQ(h.renames(), renames_after_first);
+    EXPECT_EQ(h.arch->loadWord(0x100), 43u);
+    EXPECT_EQ(h.nvm->peekWord(0x100), 0u); // home still pristine
+}
+
+TEST(NvmrArch, ViolationAfterBackupRenamesToFreshLocation)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    NvmrArch &arch = nvmrOf(h);
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    Addr first_mapping = *arch.mapTableRef().peek(0x100);
+
+    // New section: the persisted mapping is now the recovery image,
+    // so another violating eviction must rename to a new location.
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 99);
+    h.evict(0x100);
+    EXPECT_EQ(h.renames(), 2u);
+    EXPECT_EQ(h.nvm->peekWord(first_mapping), 42u); // intact
+    EXPECT_EQ(h.arch->loadWord(0x100), 99u);
+
+    // Power loss discards the second rename.
+    h.arch->onPowerFail();
+    EXPECT_EQ(h.arch->loadWord(0x100), 42u);
+}
+
+TEST(NvmrArch, WriteDominatedEvictionGoesToLatestMapping)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    NvmrArch &arch = nvmrOf(h);
+    // Rename block 0x100 and persist the mapping.
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100);
+    h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    Addr mapping = *arch.mapTableRef().peek(0x100);
+
+    // Write-dominated access in the new section: eviction writes the
+    // latest mapping directly (Section 3.5 allows this).
+    h.arch->storeWord(0x100, 7);
+    h.evict(0x100);
+    EXPECT_EQ(h.nvm->peekWord(mapping), 7u);
+    EXPECT_EQ(h.nvm->peekWord(0x100), 0u);
+}
+
+TEST(NvmrArch, MapTableFullForcesBackup)
+{
+    SystemConfig cfg;
+    cfg.mapTableEntries = 2;
+    ArchHarness h(ArchKind::Nvmr, cfg);
+    uint64_t base = h.backups();
+
+    // Rename three distinct blocks; the third needs a map-table slot
+    // that does not exist.
+    for (Addr a : {0x100u, 0x200u, 0x300u}) {
+        h.arch->loadWord(a);
+        h.arch->storeWord(a, a);
+        h.evict(a);
+    }
+    EXPECT_EQ(h.renames(), 2u);
+    uint64_t full_backups = h.arch->stats().backupsByReason[
+        static_cast<size_t>(BackupReason::MapTableFull)];
+    EXPECT_GE(full_backups, 1u);
+    EXPECT_GT(h.backups(), base);
+    // Correctness holds either way.
+    EXPECT_EQ(h.arch->loadWord(0x300), 0x300u);
+}
+
+TEST(NvmrArch, ReclaimFreesMapTableEntries)
+{
+    SystemConfig cfg;
+    cfg.mapTableEntries = 2;
+    cfg.reclaimEnabled = true;
+    cfg.reclaimBatch = 1;
+    ArchHarness h(ArchKind::Nvmr, cfg);
+    NvmrArch &arch = nvmrOf(h);
+
+    for (Addr a : {0x100u, 0x200u, 0x300u}) {
+        h.arch->loadWord(a);
+        h.arch->storeWord(a, a + 1);
+        h.evict(a);
+    }
+    EXPECT_GE(h.reclaims(), 1u);
+    EXPECT_LT(arch.mapTableRef().size(), 2u + 1u);
+    // Reclaimed blocks were copied back to their home addresses and
+    // stay readable.
+    EXPECT_EQ(h.arch->loadWord(0x100), 0x101u);
+    EXPECT_EQ(h.arch->loadWord(0x200), 0x201u);
+    EXPECT_EQ(h.arch->loadWord(0x300), 0x301u);
+}
+
+TEST(NvmrArch, DirtyMtCacheEvictionForcesBackup)
+{
+    SystemConfig cfg;
+    cfg.mtCacheEntries = 2;
+    cfg.mtCacheWays = 0; // fully associative, 2 entries
+    ArchHarness h(ArchKind::Nvmr, cfg);
+
+    // Three renamed blocks need three MT$ entries; installing the
+    // third evicts a dirty one, which must force a backup first.
+    for (Addr a : {0x100u, 0x200u, 0x300u}) {
+        h.arch->loadWord(a);
+        h.arch->storeWord(a, a);
+        h.evict(a);
+    }
+    uint64_t mtc_backups = h.arch->stats().backupsByReason[
+        static_cast<size_t>(BackupReason::MtCacheEviction)];
+    EXPECT_GE(mtc_backups, 1u);
+    EXPECT_EQ(h.arch->loadWord(0x100), 0x100u);
+    EXPECT_EQ(h.arch->loadWord(0x300), 0x300u);
+}
+
+TEST(NvmrArch, FreeListEmptyForcesBackup)
+{
+    SystemConfig cfg;
+    cfg.freeListEntries = 1;
+    ArchHarness h(ArchKind::Nvmr, cfg);
+
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 1);
+    h.evict(0x100); // consumes the only free mapping
+
+    h.arch->loadWord(0x200);
+    h.arch->storeWord(0x200, 2);
+    h.evict(0x200); // no mapping left -> backup instead
+
+    uint64_t fl_backups = h.arch->stats().backupsByReason[
+        static_cast<size_t>(BackupReason::FreeListEmpty)];
+    EXPECT_GE(fl_backups, 1u);
+    EXPECT_EQ(h.arch->loadWord(0x200), 2u);
+}
+
+TEST(NvmrArch, RenamingSpreadsWear)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    // Hammer one block with violating evictions across backups: the
+    // writes land on rotating renamed locations, not the home word.
+    for (int i = 0; i < 8; ++i) {
+        h.arch->loadWord(0x100);
+        h.arch->storeWord(0x100, i);
+        h.evict(0x100);
+        h.arch->performBackup(CpuSnapshot{}, BackupReason::Policy);
+    }
+    EXPECT_EQ(h.nvm->wearOf(0x100), 0u);
+}
+
+TEST(NvmrArch, RestoreRollsBackFreeListPointer)
+{
+    ArchHarness h(ArchKind::Nvmr);
+    NvmrArch &arch = nvmrOf(h);
+    uint32_t before = arch.freeListRef().size();
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 42);
+    h.evict(0x100); // pop without backup
+    EXPECT_EQ(arch.freeListRef().size(), before - 1);
+    h.arch->onPowerFail();
+    EXPECT_EQ(arch.freeListRef().size(), before);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the backup policies: JIT threshold behaviour,
+ * watchdog periods, Spendthrift polling/cooldown and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/policy.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+PolicyContext
+ctxWith(const Capacitor &cap, Cycles active, Cycles since_backup,
+        Cycles since_resume, NanoJoules cost, double harvest)
+{
+    return PolicyContext{cap, active, since_backup, since_resume,
+                         cost, harvest};
+}
+
+TEST(JitPolicy, FiresOnlyWhenEnergyIsScarce)
+{
+    Capacitor cap(0.1);
+    JitPolicy jit(1.5, 50.0);
+    // Full capacitor: plenty of usable energy.
+    EXPECT_FALSE(
+        jit.shouldBackup(ctxWith(cap, 0, 0, 0, 500.0, 5.0)));
+    // Just above the brown-out voltage: usable energy ~ 0.
+    cap.setVoltage(1.8001);
+    EXPECT_TRUE(
+        jit.shouldBackup(ctxWith(cap, 0, 0, 0, 500.0, 5.0)));
+}
+
+TEST(JitPolicy, ThresholdScalesWithBackupCost)
+{
+    Capacitor cap(0.1);
+    JitPolicy jit(1.5, 0.0);
+    // Find a voltage where a cheap backup does not fire but an
+    // expensive one does.
+    cap.setVoltage(1.85);
+    NanoJoules usable = cap.usableNj();
+    EXPECT_FALSE(jit.shouldBackup(
+        ctxWith(cap, 0, 0, 0, usable / 3.0, 5.0)));
+    EXPECT_TRUE(jit.shouldBackup(
+        ctxWith(cap, 0, 0, 0, usable, 5.0)));
+}
+
+TEST(JitPolicy, HibernatesAfterBackup)
+{
+    JitPolicy jit;
+    EXPECT_TRUE(jit.hibernateAfterBackup());
+}
+
+TEST(WatchdogPolicy, FiresEveryPeriod)
+{
+    Capacitor cap(0.1);
+    WatchdogPolicy wd(8000);
+    EXPECT_FALSE(
+        wd.shouldBackup(ctxWith(cap, 7999, 7999, 0, 0, 0)));
+    EXPECT_TRUE(
+        wd.shouldBackup(ctxWith(cap, 8000, 8000, 0, 0, 0)));
+    EXPECT_FALSE(
+        wd.shouldBackup(ctxWith(cap, 9000, 100, 0, 0, 0)));
+    EXPECT_FALSE(wd.hibernateAfterBackup());
+}
+
+TEST(SpendthriftPolicy, PollsAtItsPeriodOnly)
+{
+    // Train a model that always fires (label 1 everywhere).
+    SpendthriftModel model;
+    std::vector<SpendthriftSample> samples;
+    for (float v = 1.8f; v < 2.4f; v += 0.05f)
+        samples.push_back({5.0f, v, 1.0f});
+    model.train(samples, 80);
+
+    Capacitor cap(0.1);
+    SpendthriftPolicy pol(model, 64, 0);
+    EXPECT_TRUE(pol.shouldBackup(ctxWith(cap, 64, 64, 64, 0, 5)));
+    // Within the same poll window: no evaluation.
+    EXPECT_FALSE(pol.shouldBackup(ctxWith(cap, 100, 100, 100, 0, 5)));
+    // Next window: fires again.
+    EXPECT_TRUE(pol.shouldBackup(ctxWith(cap, 128, 128, 128, 0, 5)));
+}
+
+TEST(SpendthriftPolicy, ResumeCooldownSuppressesRefire)
+{
+    SpendthriftModel model;
+    std::vector<SpendthriftSample> samples;
+    for (float v = 1.8f; v < 2.4f; v += 0.05f)
+        samples.push_back({5.0f, v, 1.0f});
+    model.train(samples, 80);
+
+    Capacitor cap(0.1);
+    SpendthriftPolicy pol(model, 64, 512);
+    // Just resumed (cyclesSinceResume < cooldown): suppressed.
+    EXPECT_FALSE(pol.shouldBackup(ctxWith(cap, 64, 64, 64, 0, 5)));
+    EXPECT_TRUE(pol.shouldBackup(ctxWith(cap, 640, 640, 640, 0, 5)));
+}
+
+TEST(SpendthriftPolicy, LearnsVoltageThreshold)
+{
+    // Labels: fire iff the capacitor is nearly empty.
+    SpendthriftModel model;
+    std::vector<SpendthriftSample> samples;
+    for (int i = 0; i < 400; ++i) {
+        float v = 1.8f + 0.6f * (i % 100) / 100.0f;
+        samples.push_back({8.0f, v, v < 1.9f ? 1.0f : 0.0f});
+    }
+    model.train(samples, 60);
+
+    Capacitor cap(0.1);
+    SpendthriftPolicy pol(model, 64, 0);
+    cap.setVoltage(1.85);
+    EXPECT_TRUE(pol.shouldBackup(ctxWith(cap, 64, 64, 64, 0, 8)));
+    pol.reset();
+    cap.setVoltage(2.35);
+    EXPECT_FALSE(pol.shouldBackup(ctxWith(cap, 64, 64, 64, 0, 8)));
+}
+
+TEST(PolicyFactory, BuildsEachKind)
+{
+    PolicySpec jit;
+    jit.kind = PolicyKind::Jit;
+    EXPECT_STREQ(makePolicy(jit)->name(), "jit");
+
+    PolicySpec wd;
+    wd.kind = PolicyKind::Watchdog;
+    wd.watchdogPeriod = 1234;
+    EXPECT_STREQ(makePolicy(wd)->name(), "watchdog");
+
+    SpendthriftModel model;
+    PolicySpec st;
+    st.kind = PolicyKind::Spendthrift;
+    st.model = &model;
+    EXPECT_STREQ(makePolicy(st)->name(), "spendthrift");
+}
+
+TEST(PolicyNames, Stable)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::Jit), "jit");
+    EXPECT_STREQ(policyKindName(PolicyKind::Watchdog), "watchdog");
+    EXPECT_STREQ(policyKindName(PolicyKind::Spendthrift),
+                 "spendthrift");
+}
+
+} // namespace
+} // namespace nvmr

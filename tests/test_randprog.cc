@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the random program generator: determinism, assembly
+ * validity, termination and parameter handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/randprog.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(RandProg, DeterministicPerSeed)
+{
+    EXPECT_EQ(makeRandomProgram(7), makeRandomProgram(7));
+    EXPECT_NE(makeRandomProgram(7), makeRandomProgram(8));
+}
+
+TEST(RandProg, AssemblesAndHalts)
+{
+    for (uint64_t seed = 100; seed < 110; ++seed) {
+        Program prog = assemble("rp", makeRandomProgram(seed));
+        GoldenResult g = runContinuous(prog);
+        EXPECT_TRUE(g.halted) << seed;
+        EXPECT_GT(g.instructions, 100u) << seed;
+        EXPECT_LT(g.instructions, 1000000u) << seed;
+    }
+}
+
+TEST(RandProg, RespectsArraySize)
+{
+    RandProgParams params;
+    params.arrayWords = 64;
+    Program prog = assemble("rp", makeRandomProgram(3, params));
+    // Data segment: exactly 64 words.
+    EXPECT_EQ(prog.dataSize(), 64u * 4u);
+    // The continuous run must stay in bounds (DirectPort panics on
+    // out-of-range access).
+    GoldenResult g = runContinuous(prog);
+    EXPECT_TRUE(g.halted);
+}
+
+TEST(RandProg, IterationBoundsHonoured)
+{
+    RandProgParams params;
+    params.minIterations = 5;
+    params.maxIterations = 5;
+    params.minBodyOps = 10;
+    params.maxBodyOps = 10;
+    Program prog = assemble("rp", makeRandomProgram(11, params));
+    GoldenResult g = runContinuous(prog);
+    EXPECT_TRUE(g.halted);
+    // 5 iterations x (<= 10 ops x <= 6 instructions) + prologue.
+    EXPECT_LT(g.instructions, 5u * 10u * 6u + 20u);
+}
+
+TEST(RandProg, ProgramsAreIntermittentSafe)
+{
+    // Smoke variant of the big property suite: one seed, one arch.
+    Program prog = assemble("rp", makeRandomProgram(555));
+    SystemConfig cfg;
+    cfg.capacitorFarads = 500e-6;
+    JitPolicy policy;
+    HarvestTrace trace(TraceKind::Solar, 5550, 7.0);
+    Simulator sim(prog, ArchKind::Nvmr, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Integration tests for the intermittent simulator: completion,
+ * validation against the continuous run, energy conservation across
+ * categories, and power-failure re-execution behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+/** A small program with read-modify-write traffic over 2 KB. */
+const char *kRmwProgram = R"(
+        .data
+arr:    .rand 512 31 0 1000
+        .text
+main:
+        li   r1, 0              # pass
+pass:
+        li   r2, 0              # i
+elem:
+        slli r3, r2, 2
+        li   r4, arr
+        add  r3, r3, r4
+        ld   r5, 0(r3)
+        addi r5, r5, 1
+        st   r5, 0(r3)
+        addi r2, r2, 1
+        li   r6, 512
+        blt  r2, r6, elem
+        addi r1, r1, 1
+        li   r6, 6
+        blt  r1, r6, pass
+        halt
+)";
+
+struct SimTest : public ::testing::Test
+{
+    Program prog = assemble("rmw", kRmwProgram);
+    SystemConfig cfg;
+    HarvestTrace trace{TraceKind::Solar, 77, 8.0};
+};
+
+TEST_F(SimTest, ClankCompletesAndValidates)
+{
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Clank, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.backups, 0u);
+}
+
+TEST_F(SimTest, NvmrCompletesAndValidates)
+{
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Nvmr, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+}
+
+TEST_F(SimTest, HoopCompletesAndValidates)
+{
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Hoop, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+}
+
+TEST_F(SimTest, IdealWithJitValidates)
+{
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Ideal, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.violations, 0u);
+}
+
+TEST_F(SimTest, EnergyCategoriesSumToTotal)
+{
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Clank, cfg, policy, trace);
+    RunResult r = sim.run();
+    NanoJoules sum = 0;
+    for (NanoJoules e : r.energy)
+        sum += e;
+    EXPECT_NEAR(sum, r.totalEnergyNj, 1e-6);
+    EXPECT_GT(r.energyOf(ECat::Forward), 0.0);
+    EXPECT_GT(r.energyOf(ECat::Backup), 0.0);
+}
+
+TEST_F(SimTest, JitHasNegligibleDeadEnergy)
+{
+    // Section 6.1.4: with the JIT scheme there is no dead energy.
+    JitPolicy policy;
+    Simulator sim(prog, ArchKind::Clank, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_LE(r.energyOf(ECat::Dead),
+              0.01 * r.totalEnergyNj);
+}
+
+TEST_F(SimTest, WatchdogBacksUpPeriodically)
+{
+    // A store-only (write-dominated) program: no violation backups
+    // interfere, so the watchdog timer drives the backup count.
+    Program wr_only = assemble("wronly", R"(
+        .data
+arr:    .space 2048
+        .text
+main:
+        li   r1, 0
+pass:
+        li   r2, 0
+elem:
+        slli r3, r2, 2
+        li   r4, arr
+        add  r3, r3, r4
+        st   r1, 0(r3)
+        addi r2, r2, 1
+        li   r6, 512
+        blt  r2, r6, elem
+        addi r1, r1, 1
+        li   r6, 8
+        blt  r1, r6, pass
+        halt
+)");
+    WatchdogPolicy policy(8000);
+    Simulator sim(wr_only, ArchKind::Clank, cfg, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    // Roughly one policy backup per 8000 active cycles.
+    uint64_t policy_backups =
+        r.backupsByReason[static_cast<size_t>(BackupReason::Policy)];
+    EXPECT_GE(policy_backups, r.activeCycles / 8000 / 2);
+}
+
+TEST_F(SimTest, SmallCapacitorCausesPowerFailures)
+{
+    // The co-sized platform: a full 256 B cache's atomic backup does
+    // not fit a 500 uF charge, and the watchdog period must be well
+    // under the charge lifetime.
+    SystemConfig small = SystemConfig::smallPlatform();
+    WatchdogPolicy policy(300);
+    Simulator sim(prog, ArchKind::Clank, small, policy, trace);
+    RunResult r = sim.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    EXPECT_GT(r.powerFailures, 0u);
+    EXPECT_EQ(r.restores, r.powerFailures);
+    EXPECT_GT(r.energyOf(ECat::Restore), 0.0);
+}
+
+TEST_F(SimTest, ReExecutionInflatesInstructionCount)
+{
+    SystemConfig small = SystemConfig::smallPlatform();
+    WatchdogPolicy policy(300);
+    Simulator sim(prog, ArchKind::Clank, small, policy, trace);
+    RunResult r = sim.run();
+    GoldenResult golden = runContinuous(prog);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GE(r.instructions, golden.instructions);
+}
+
+TEST_F(SimTest, NvmrUsesFewerBackupsThanClank)
+{
+    JitPolicy p1, p2;
+    Simulator clank(prog, ArchKind::Clank, cfg, p1, trace);
+    Simulator nvmr(prog, ArchKind::Nvmr, cfg, p2, trace);
+    RunResult rc = clank.run();
+    RunResult rn = nvmr.run();
+    ASSERT_TRUE(rc.completed && rn.completed);
+    EXPECT_LT(rn.backups, rc.backups);
+    EXPECT_GT(rn.renames, 0u);
+}
+
+TEST_F(SimTest, GoldenRunnerHaltsAndCounts)
+{
+    GoldenResult golden = runContinuous(prog);
+    EXPECT_TRUE(golden.halted);
+    // 6 passes x 512 elements, value starts as rand +6.
+    EXPECT_GT(golden.instructions, 6u * 512u * 8u);
+}
+
+TEST_F(SimTest, MaxCyclesGuardStopsRun)
+{
+    Program spin = assemble("spin", R"(
+main:
+        jmp main
+)");
+    JitPolicy policy;
+    RunOptions opts;
+    opts.maxCycles = 200000;
+    opts.validate = false;
+    Simulator sim(spin, ArchKind::Clank, cfg, policy, trace, opts);
+    RunResult r = sim.run();
+    EXPECT_FALSE(r.completed);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the Spendthrift MLP: training on separable data,
+ * determinism, probability outputs and accuracy reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/xorshift.hh"
+#include "power/spendthrift.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+std::vector<SpendthriftSample>
+thresholdData(size_t n, uint64_t seed)
+{
+    // Fire when voltage is low and harvest is weak.
+    XorShift rng(seed);
+    std::vector<SpendthriftSample> samples;
+    for (size_t i = 0; i < n; ++i) {
+        float h = static_cast<float>(rng.uniform()) * 20.0f;
+        float v = 1.8f + static_cast<float>(rng.uniform()) * 0.6f;
+        float label = (v < 1.95f && h < 10.0f) ? 1.0f : 0.0f;
+        samples.push_back({h, v, label});
+    }
+    return samples;
+}
+
+TEST(Spendthrift, OutputsAreProbabilities)
+{
+    SpendthriftModel model;
+    for (float v = 1.8f; v <= 2.4f; v += 0.1f) {
+        float p = model.infer(8.0f, v);
+        EXPECT_GT(p, 0.0f);
+        EXPECT_LT(p, 1.0f);
+    }
+}
+
+TEST(Spendthrift, LearnsSeparableData)
+{
+    SpendthriftModel model;
+    auto train = thresholdData(2000, 1);
+    model.train(train, 40);
+    auto test = thresholdData(500, 2);
+    EXPECT_GT(model.accuracy(test), 0.9);
+}
+
+TEST(Spendthrift, TrainingIsDeterministic)
+{
+    auto data = thresholdData(500, 3);
+    SpendthriftModel a, b;
+    a.train(data, 10, 0.05f, 42);
+    b.train(data, 10, 0.05f, 42);
+    for (float v = 1.8f; v <= 2.4f; v += 0.07f)
+        EXPECT_FLOAT_EQ(a.infer(5.0f, v), b.infer(5.0f, v));
+}
+
+TEST(Spendthrift, AccuracyOfUntrainedModelIsPoorOrTrivial)
+{
+    SpendthriftModel model;
+    auto data = thresholdData(500, 4);
+    double acc = model.accuracy(data);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(Spendthrift, AccuracyOnEmptySetIsZero)
+{
+    SpendthriftModel model;
+    EXPECT_DOUBLE_EQ(model.accuracy({}), 0.0);
+}
+
+TEST(Spendthrift, PredictUsesHalfThreshold)
+{
+    SpendthriftModel model;
+    std::vector<SpendthriftSample> always = {{5, 1.9f, 1}};
+    for (int i = 0; i < 50; ++i)
+        always.push_back({5, 1.9f, 1});
+    model.train(always, 100);
+    EXPECT_TRUE(model.predict(5, 1.9f));
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the task-based checkpointing architecture (Figure 2c):
+ * the `task` instruction forces a backup, task counts line up, and
+ * annotated workloads run correctly with no policy at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/task.hh"
+#include "arch_harness.hh"
+#include "workloads/workloads.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(TaskArch, TaskInstructionForcesBackup)
+{
+    Program prog = assemble("t", R"(
+main:
+        task
+        task
+        halt
+)");
+    SystemConfig cfg;
+    NonePolicy policy;
+    HarvestTrace trace(TraceKind::Rf, 1, 8.0);
+    Simulator sim(prog, ArchKind::Task, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed);
+    uint64_t boundary_backups = r.backupsByReason[
+        static_cast<size_t>(BackupReason::TaskBoundary)];
+    EXPECT_EQ(boundary_backups, 2u);
+}
+
+TEST(TaskArch, BoundariesPersistPrecedingWork)
+{
+    Program prog = assemble("t", R"(
+        .data
+x:      .word 0
+        .text
+main:
+        li   r1, x
+        li   r2, 41
+        st   r2, 0(r1)
+        task                    # checkpoint: x=41 is now durable
+        ld   r2, 0(r1)
+        addi r2, r2, 1
+        st   r2, 0(r1)
+        halt
+)");
+    SystemConfig cfg;
+    NonePolicy policy;
+    HarvestTrace trace(TraceKind::Rf, 2, 8.0);
+    Simulator sim(prog, ArchKind::Task, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(r.validated);
+    EXPECT_EQ(sim.archRef().inspectWord(0), 42u);
+}
+
+TEST(TaskArch, ViolationSafetyNetStillWorks)
+{
+    // A read-modify-write *between* task boundaries is an imperfect
+    // decomposition: the inherited Clank machinery must still back
+    // up on the violating eviction.
+    ArchHarness h(ArchKind::Task);
+    uint64_t base = h.backups();
+    h.arch->loadWord(0x100);
+    h.arch->storeWord(0x100, 1);
+    h.evict(0x100);
+    EXPECT_EQ(h.violations(), 1u);
+    EXPECT_GT(h.backups(), base);
+}
+
+class TaskWorkloads : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TaskWorkloads, AnnotatedWorkloadRunsWithNoPolicy)
+{
+    // Pure software checkpointing: the only planned backups come
+    // from the program's own task boundaries.
+    Program prog = assembleWorkload(GetParam());
+    SystemConfig cfg;
+    cfg.capacitorFarads = 7.5e-3;
+    NonePolicy policy;
+    HarvestTrace trace(TraceKind::Rf, 77, 7.0);
+    Simulator sim(prog, ArchKind::Task, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed) << GetParam();
+    EXPECT_TRUE(r.validated) << GetParam();
+    EXPECT_GT(r.backupsByReason[
+                  static_cast<size_t>(BackupReason::TaskBoundary)],
+              0u)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Annotated, TaskWorkloads,
+    ::testing::Values("hist", "dijkstra", "qsort", "adpcm_encode",
+                      "dwt"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(TaskArch, TaskIsNoOpForHardwareSchemes)
+{
+    // The same annotated program on Clank/NvMR/HOOP: task
+    // instructions cost one cycle and nothing else.
+    Program prog = assembleWorkload("hist");
+    SystemConfig cfg;
+    for (ArchKind kind :
+         {ArchKind::Clank, ArchKind::Nvmr, ArchKind::Hoop}) {
+        JitPolicy policy;
+        HarvestTrace trace(TraceKind::Rf, 78, 8.0);
+        Simulator sim(prog, kind, cfg, policy, trace);
+        RunResult r = sim.run();
+        ASSERT_TRUE(r.completed) << archKindName(kind);
+        EXPECT_TRUE(r.validated) << archKindName(kind);
+        EXPECT_EQ(r.backupsByReason[static_cast<size_t>(
+                      BackupReason::TaskBoundary)],
+                  0u)
+            << archKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace nvmr

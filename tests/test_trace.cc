@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the synthetic harvest traces: determinism, mean
+ * power, wrap-around and energy integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "power/trace.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+TEST(HarvestTrace, Deterministic)
+{
+    HarvestTrace a(TraceKind::Rf, 42, 8.0);
+    HarvestTrace b(TraceKind::Rf, 42, 8.0);
+    for (Cycles c = 0; c < 100000; c += 7777)
+        EXPECT_DOUBLE_EQ(a.powerMwAtCycle(c), b.powerMwAtCycle(c));
+}
+
+TEST(HarvestTrace, DifferentSeedsDiffer)
+{
+    HarvestTrace a(TraceKind::Wind, 1, 8.0);
+    HarvestTrace b(TraceKind::Wind, 2, 8.0);
+    bool differ = false;
+    for (Cycles c = 0; c < 1000000 && !differ; c += 8000)
+        differ = a.powerMwAtCycle(c) != b.powerMwAtCycle(c);
+    EXPECT_TRUE(differ);
+}
+
+TEST(HarvestTrace, MeanNearTarget)
+{
+    for (TraceKind kind :
+         {TraceKind::Rf, TraceKind::Solar, TraceKind::Wind}) {
+        HarvestTrace t(kind, 7, 10.0);
+        EXPECT_GT(t.meanMw(), 3.0) << t.name();
+        EXPECT_LT(t.meanMw(), 30.0) << t.name();
+    }
+}
+
+TEST(HarvestTrace, PowerIsNonNegative)
+{
+    for (TraceKind kind :
+         {TraceKind::Rf, TraceKind::Solar, TraceKind::Wind}) {
+        HarvestTrace t(kind, 11, 8.0);
+        for (Cycles c = 0; c < 8000u * 30000u; c += 80000)
+            EXPECT_GE(t.powerMwAtCycle(c), 0.0) << t.name();
+    }
+}
+
+TEST(HarvestTrace, WrapsAround)
+{
+    HarvestTrace t(TraceKind::Solar, 3, 8.0, 100);
+    Cycles period = 100 * HarvestTrace::cyclesPerSample;
+    EXPECT_DOUBLE_EQ(t.powerMwAtCycle(0), t.powerMwAtCycle(period));
+    EXPECT_DOUBLE_EQ(t.powerMwAtCycle(8000),
+                     t.powerMwAtCycle(period + 8000));
+}
+
+TEST(HarvestTrace, HarvestedEnergyMatchesConstantPower)
+{
+    // Within one 1 ms sample the power is constant: E = P * t.
+    HarvestTrace t(TraceKind::Wind, 5, 8.0);
+    double p = t.powerMwAtCycle(0);
+    NanoJoules e = t.harvestedNj(0, 1000);
+    EXPECT_NEAR(e, p * 0.125 * 1000, 1e-9);
+}
+
+TEST(HarvestTrace, HarvestedEnergyIsAdditive)
+{
+    HarvestTrace t(TraceKind::Rf, 9, 8.0);
+    NanoJoules whole = t.harvestedNj(0, 50000);
+    NanoJoules split = t.harvestedNj(0, 20000) +
+                       t.harvestedNj(20000, 30000);
+    EXPECT_NEAR(whole, split, 1e-6);
+}
+
+TEST(HarvestTrace, StandardSetHasTenTraces)
+{
+    auto set = HarvestTrace::standardSet();
+    EXPECT_EQ(set.size(), 10u);
+    // Names must be distinct (distinct seeds).
+    for (size_t i = 0; i < set.size(); ++i)
+        for (size_t j = i + 1; j < set.size(); ++j)
+            EXPECT_NE(set[i].name(), set[j].name());
+}
+
+TEST(HarvestTrace, TrainTestSplitMatchesPaper)
+{
+    EXPECT_EQ(HarvestTrace::trainingSet().size(), 7u);
+    EXPECT_EQ(HarvestTrace::testSet().size(), 3u);
+}
+
+TEST(HarvestTrace, ContainsHardOutages)
+{
+    // Outage overlay: every trace must have stretches of exactly
+    // zero power (these are what force restores).
+    HarvestTrace t(TraceKind::Solar, 21, 9.0);
+    size_t zero_run = 0, longest = 0;
+    for (double s : t.samples()) {
+        zero_run = s == 0.0 ? zero_run + 1 : 0;
+        longest = std::max(longest, zero_run);
+    }
+    EXPECT_GE(longest, 200u); // at least one >= 200 ms outage
+}
+
+TEST(HarvestTrace, FromSamplesRoundTrip)
+{
+    std::vector<double> samples = {1.0, 2.5, 0.0, 7.75};
+    HarvestTrace t = HarvestTrace::fromSamples("custom", samples);
+    EXPECT_EQ(t.name(), "custom");
+    EXPECT_EQ(t.samples(), samples);
+    EXPECT_DOUBLE_EQ(t.meanMw(), (1.0 + 2.5 + 0.0 + 7.75) / 4.0);
+    EXPECT_DOUBLE_EQ(
+        t.powerMwAtCycle(HarvestTrace::cyclesPerSample), 2.5);
+}
+
+TEST(HarvestTrace, CsvRoundTrip)
+{
+    HarvestTrace original(TraceKind::Rf, 5, 8.0, 500);
+    std::string path = ::testing::TempDir() + "/trace_rt.csv";
+    original.toCsvFile(path);
+    HarvestTrace loaded = HarvestTrace::fromCsvFile(path);
+    ASSERT_EQ(loaded.samples().size(), original.samples().size());
+    for (size_t i = 0; i < loaded.samples().size(); ++i)
+        EXPECT_DOUBLE_EQ(loaded.samples()[i],
+                         original.samples()[i]);
+}
+
+TEST(HarvestTrace, CsvIgnoresCommentsAndBlanks)
+{
+    std::string path = ::testing::TempDir() + "/trace_c.csv";
+    {
+        std::ofstream out(path);
+        out << "# header\n\n1.5\n  2.5\n# tail\n3.5\n";
+    }
+    HarvestTrace t = HarvestTrace::fromCsvFile(path);
+    ASSERT_EQ(t.samples().size(), 3u);
+    EXPECT_DOUBLE_EQ(t.samples()[1], 2.5);
+}
+
+} // namespace
+} // namespace nvmr

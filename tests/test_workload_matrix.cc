@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The full workload x architecture matrix, run intermittently on a
+ * failure-prone capacitor: all ten benchmarks must complete and
+ * validate on Clank, NvMR and HOOP. This is the closest test to the
+ * evaluation harnesses themselves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+using MatrixCase = std::tuple<std::string, ArchKind>;
+
+class WorkloadMatrix : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(WorkloadMatrix, CompletesAndValidatesIntermittently)
+{
+    auto [name, kind] = GetParam();
+    Program prog = assembleWorkload(name);
+    SystemConfig cfg;
+    cfg.capacitorFarads = 7.5e-3; // failure-prone
+    // Platform co-design: HOOP's redo log must stay small enough
+    // that a restore-time GC fits one capacitor charge (Table 4's
+    // 2048-entry region presumes the 100 mF default).
+    cfg.oopRegionEntries = 384;
+    JitPolicy policy;
+    HarvestTrace trace(TraceKind::Rf, 4242, 7.0);
+    Simulator sim(prog, kind, cfg, policy, trace);
+    RunResult r = sim.run();
+    ASSERT_TRUE(r.completed) << name << " on " << archKindName(kind);
+    EXPECT_TRUE(r.validated) << name << " on " << archKindName(kind);
+}
+
+std::vector<MatrixCase>
+matrixCases()
+{
+    std::vector<MatrixCase> cases;
+    for (const WorkloadInfo &w : allWorkloads())
+        for (ArchKind kind :
+             {ArchKind::Clank, ArchKind::Nvmr, ArchKind::Hoop})
+            cases.emplace_back(w.name, kind);
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadMatrix, ::testing::ValuesIn(matrixCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_" +
+               archKindName(std::get<1>(info.param));
+    });
+
+TEST(WorkloadMatrixExtras, NvmrNeverLosesBadlyToClank)
+{
+    // A guardrail on the headline result: across all workloads under
+    // JIT, NvMR must never consume more than ~10% extra energy, and
+    // must win on at least half.
+    SystemConfig cfg;
+    JitPolicy p1, p2;
+    HarvestTrace trace(TraceKind::Solar, 9001, 8.0);
+    int wins = 0, total = 0;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program prog = assembleWorkload(w.name);
+        JitPolicy pol_a, pol_b;
+        Simulator clank(prog, ArchKind::Clank, cfg, pol_a, trace);
+        Simulator nvmr(prog, ArchKind::Nvmr, cfg, pol_b, trace);
+        RunResult rc = clank.run();
+        RunResult rn = nvmr.run();
+        ASSERT_TRUE(rc.completed && rc.validated) << w.name;
+        ASSERT_TRUE(rn.completed && rn.validated) << w.name;
+        EXPECT_LT(rn.totalEnergyNj, rc.totalEnergyNj * 1.10)
+            << w.name;
+        wins += rn.totalEnergyNj < rc.totalEnergyNj;
+        ++total;
+    }
+    EXPECT_GE(wins * 2, total);
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload validation: every benchmark assembles, halts on the
+ * continuous interpreter, and its final memory matches the C++
+ * golden model of the kernel (parameterized across all ten
+ * workloads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/golden.hh"
+#include "workloads/workloads.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+class WorkloadGolden : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadGolden, AssemblesAndPassesGoldenCheck)
+{
+    const WorkloadInfo &info = findWorkload(GetParam());
+    Program prog = assembleWorkload(info.name);
+    EXPECT_FALSE(prog.text.empty());
+    EXPECT_GT(prog.dataSize(), 0u);
+
+    GoldenResult golden = runContinuous(prog);
+    ASSERT_TRUE(golden.halted)
+        << info.name << " did not halt within the instruction budget";
+    std::string err = info.check(prog, golden);
+    EXPECT_EQ(err, "") << info.name << ": " << err;
+}
+
+TEST_P(WorkloadGolden, InstructionCountInExpectedBand)
+{
+    // Workloads are sized for 50K..1M instructions so intermittent
+    // sweeps stay tractable (DESIGN.md).
+    Program prog = assembleWorkload(GetParam());
+    GoldenResult golden = runContinuous(prog);
+    EXPECT_GT(golden.instructions, 50000u) << GetParam();
+    EXPECT_LT(golden.instructions, 1500000u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadGolden,
+    ::testing::Values("adpcm_encode", "basicmath", "blowfish",
+                      "dijkstra", "picojpeg", "qsort", "stringsearch",
+                      "2dconv", "dwt", "hist"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+TEST(Workloads, RegistryHasAllTen)
+{
+    EXPECT_EQ(allWorkloads().size(), 10u);
+}
+
+TEST(Workloads, DataFitsInApplicationRegion)
+{
+    // Program data must stay clear of the reserved renaming region
+    // (2 MB NVM minus 4609 16-byte mappings).
+    SystemConfig cfg;
+    uint32_t reserved_base =
+        cfg.nvmBytes -
+        cfg.effectiveFreeListEntries() * cfg.cache.blockBytes;
+    for (const WorkloadInfo &w : allWorkloads()) {
+        Program prog = assembleWorkload(w.name);
+        EXPECT_LT(prog.dataSize(), reserved_base) << w.name;
+    }
+}
+
+} // namespace
+} // namespace nvmr

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Differential correctness fuzzer: generate random programs and run
+ * them intermittently across every architecture, policy and a grid
+ * of capacitor sizes, comparing each final NVM state against the
+ * continuously-powered execution. Any divergence (or stuck run)
+ * prints a full repro recipe and stops.
+ *
+ *     nvmr_fuzz                 # 100 iterations from seed 1
+ *     nvmr_fuzz 2000            # more iterations
+ *     nvmr_fuzz 500 12345       # iterations + base seed
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hh"
+#include "isa/assembler.hh"
+#include "sim/randprog.hh"
+#include "sim/simulator.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+struct FuzzCase
+{
+    ArchKind arch;
+    PolicyKind policy;
+    double farads;
+    bool byteLbf = false;
+};
+
+bool
+runCase(const Program &prog, uint64_t seed, const FuzzCase &c)
+{
+    // Small capacitors need the co-sized platform (atomic backups
+    // must fit one charge; see SystemConfig::smallPlatform).
+    SystemConfig cfg = c.farads < 1e-3 ? SystemConfig::smallPlatform()
+                                       : SystemConfig{};
+    cfg.capacitorFarads = c.farads;
+    cfg.mapTableEntries = 64;
+    cfg.mtCacheEntries = 16;
+    cfg.mtCacheWays = 4;
+    if (c.byteLbf)
+        cfg.cache.lbfGranularityBytes = 1;
+    PolicySpec spec;
+    spec.kind = c.policy;
+    if (c.farads < 1e-3)
+        spec.watchdogPeriod = 300;
+    // The ideal architecture is only safe under perfect JIT.
+    if (c.arch == ArchKind::Ideal && c.policy != PolicyKind::Jit)
+        return true;
+
+    auto policy = makePolicy(spec);
+    HarvestTrace trace(TraceKind::Rf, 40000 + seed, 7.0);
+    Simulator sim(prog, c.arch, cfg, *policy, trace);
+    RunResult r = sim.run();
+    if (r.completed && r.validated)
+        return true;
+
+    std::printf(
+        "\nFAILURE: seed %llu on %s/%s at %g F: %s\n"
+        "repro: regenerate with makeRandomProgram(%llu) and rerun\n",
+        static_cast<unsigned long long>(seed), archKindName(c.arch),
+        policyKindName(c.policy), c.farads,
+        r.completed ? "final state diverged" : "did not complete",
+        static_cast<unsigned long long>(seed));
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    uint64_t iterations = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                   : 100;
+    uint64_t base_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                  : 1;
+
+    const FuzzCase cases[] = {
+        {ArchKind::Clank, PolicyKind::Jit, 0.1},
+        {ArchKind::Clank, PolicyKind::Watchdog, 500e-6},
+        {ArchKind::ClankOriginal, PolicyKind::Jit, 0.1},
+        {ArchKind::ClankOriginal, PolicyKind::Watchdog, 500e-6},
+        {ArchKind::Nvmr, PolicyKind::Jit, 0.1},
+        {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6},
+        {ArchKind::Nvmr, PolicyKind::Jit, 500e-6},
+        {ArchKind::Hoop, PolicyKind::Jit, 0.1},
+        {ArchKind::Hoop, PolicyKind::Watchdog, 500e-6},
+        {ArchKind::Ideal, PolicyKind::Jit, 0.1},
+        {ArchKind::Clank, PolicyKind::Watchdog, 500e-6, true},
+        {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6, true},
+    };
+
+    uint64_t runs = 0;
+    for (uint64_t i = 0; i < iterations; ++i) {
+        uint64_t seed = base_seed + i;
+        Program prog = assemble("fuzz" + std::to_string(seed),
+                                makeRandomProgram(seed));
+        for (const FuzzCase &c : cases) {
+            if (!runCase(prog, seed, c))
+                return 1;
+            ++runs;
+        }
+        if ((i + 1) % 10 == 0)
+            std::printf("%llu programs, %llu runs, all consistent\n",
+                        static_cast<unsigned long long>(i + 1),
+                        static_cast<unsigned long long>(runs));
+    }
+    std::printf("fuzzing done: %llu runs, no divergence\n",
+                static_cast<unsigned long long>(runs));
+    return 0;
+}

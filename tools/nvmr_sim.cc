@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Command-line simulator driver: run any workload on any
+ * architecture / policy / capacitor combination and print a full
+ * report, optionally tracing intermittence events as they happen.
+ *
+ *     nvmr_sim --list
+ *     nvmr_sim -w hist -a nvmr -p jit
+ *     nvmr_sim -w qsort -a clank -p watchdog --period 4000 \
+ *              --cap 7.5e-3 --seed 42 --events
+ *     nvmr_sim -w dijkstra -a nvmr --reclaim --map-table 512
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+void
+usage()
+{
+    std::puts(
+        "nvmr_sim: intermittent-computing simulator driver\n"
+        "\n"
+        "  --list                list the available workloads\n"
+        "  -w, --workload NAME   workload to run (required)\n"
+        "  -a, --arch NAME       ideal | clank | clank_original | task | nvmr | hoop "
+        "(default nvmr)\n"
+        "  -p, --policy NAME     jit | watchdog | spendthrift "
+        "(default jit)\n"
+        "  --model FILE          spendthrift model (see nvmr_train)\n"
+        "  --period N            watchdog period in cycles "
+        "(default 8000)\n"
+        "  --cap F               capacitor label in farads "
+        "(default 0.1)\n"
+        "  --trace KIND          rf | solar | wind (default rf)\n"
+        "  --seed N              trace seed (default 7)\n"
+        "  --mean MW             trace mean power in mW (default 8)\n"
+        "  --map-table N         NvMR map table entries "
+        "(default 4096)\n"
+        "  --mt-cache N          NvMR map table cache entries "
+        "(default 512)\n"
+        "  --reclaim             enable map-table reclamation\n"
+        "  --no-validate         skip the continuous-run comparison\n"
+        "  --events              print intermittence events live\n");
+}
+
+/** Observer that narrates the run. */
+class EventPrinter : public SimObserver
+{
+  public:
+    void
+    onBackup(BackupReason reason, Cycles at) override
+    {
+        std::printf("[%12llu] backup (%s)\n",
+                    static_cast<unsigned long long>(at),
+                    backupReasonName(reason));
+    }
+
+    void
+    onPowerFailure(Cycles at) override
+    {
+        std::printf("[%12llu] power failure\n",
+                    static_cast<unsigned long long>(at));
+    }
+
+    void
+    onRestore(Cycles at) override
+    {
+        std::printf("[%12llu] restore\n",
+                    static_cast<unsigned long long>(at));
+    }
+
+    void
+    onHibernate(Cycles at) override
+    {
+        std::printf("[%12llu] hibernate\n",
+                    static_cast<unsigned long long>(at));
+    }
+
+    void
+    onWake(Cycles at) override
+    {
+        std::printf("[%12llu] wake\n",
+                    static_cast<unsigned long long>(at));
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string arch_name = "nvmr";
+    std::string policy_name = "jit";
+    std::string trace_name = "rf";
+    std::string model_path;
+    Cycles period = 8000;
+    double cap = 0.1;
+    uint64_t seed = 7;
+    double mean = 8.0;
+    SystemConfig cfg;
+    RunOptions opts;
+    bool events = false;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for ", argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--list") {
+            for (const WorkloadInfo &w : allWorkloads())
+                std::printf("%s\n", w.name.c_str());
+            return 0;
+        } else if (a == "-w" || a == "--workload") {
+            workload = need(i);
+        } else if (a == "-a" || a == "--arch") {
+            arch_name = need(i);
+        } else if (a == "-p" || a == "--policy") {
+            policy_name = need(i);
+        } else if (a == "--period") {
+            period = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--cap") {
+            cap = std::strtod(need(i), nullptr);
+        } else if (a == "--trace") {
+            trace_name = need(i);
+        } else if (a == "--seed") {
+            seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--mean") {
+            mean = std::strtod(need(i), nullptr);
+        } else if (a == "--map-table") {
+            cfg.mapTableEntries =
+                static_cast<uint32_t>(std::strtoul(need(i), nullptr,
+                                                   10));
+        } else if (a == "--mt-cache") {
+            cfg.mtCacheEntries =
+                static_cast<uint32_t>(std::strtoul(need(i), nullptr,
+                                                   10));
+        } else if (a == "--reclaim") {
+            cfg.reclaimEnabled = true;
+        } else if (a == "--model") {
+            model_path = need(i);
+        } else if (a == "--no-validate") {
+            opts.validate = false;
+        } else if (a == "--events") {
+            events = true;
+        } else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '", a, "'");
+        }
+    }
+
+    if (workload.empty()) {
+        usage();
+        fatal("--workload is required (try --list)");
+    }
+
+    cfg.capacitorFarads = cap;
+
+    ArchKind arch;
+    if (arch_name == "ideal")
+        arch = ArchKind::Ideal;
+    else if (arch_name == "clank")
+        arch = ArchKind::Clank;
+    else if (arch_name == "clank_original")
+        arch = ArchKind::ClankOriginal;
+    else if (arch_name == "task")
+        arch = ArchKind::Task;
+    else if (arch_name == "nvmr")
+        arch = ArchKind::Nvmr;
+    else if (arch_name == "hoop")
+        arch = ArchKind::Hoop;
+    else
+        fatal("unknown architecture '", arch_name, "'");
+
+    PolicySpec spec;
+    SpendthriftModel model;
+    if (policy_name == "jit") {
+        spec.kind = PolicyKind::Jit;
+    } else if (policy_name == "watchdog") {
+        spec.kind = PolicyKind::Watchdog;
+        spec.watchdogPeriod = period;
+    } else if (policy_name == "spendthrift") {
+        fatal_if(model_path.empty(),
+                 "spendthrift needs --model FILE (train one with "
+                 "nvmr_train)");
+        model = SpendthriftModel::loadFromFile(model_path);
+        spec.kind = PolicyKind::Spendthrift;
+        spec.model = &model;
+    } else {
+        fatal("unknown policy '", policy_name, "'");
+    }
+
+    TraceKind kind;
+    if (trace_name == "rf")
+        kind = TraceKind::Rf;
+    else if (trace_name == "solar")
+        kind = TraceKind::Solar;
+    else if (trace_name == "wind")
+        kind = TraceKind::Wind;
+    else
+        fatal("unknown trace kind '", trace_name, "'");
+
+    Program prog = assembleWorkload(workload);
+    HarvestTrace trace(kind, seed, mean);
+    auto policy = makePolicy(spec);
+
+    Simulator sim(prog, arch, cfg, *policy, trace, opts);
+    EventPrinter printer;
+    if (events)
+        sim.attachObserver(&printer);
+
+    RunResult result = sim.run();
+    std::fputs(formatRunReport(result).c_str(), stdout);
+    return result.completed && (!opts.validate || result.validated)
+               ? 0
+               : 1;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Grid-sweep driver with CSV output: run every workload across a
+ * grid of architectures, policies and capacitor sizes and emit one
+ * CSV row per cell, ready for plotting. This is the generic
+ * companion to the fixed per-figure harnesses in bench/.
+ *
+ *     nvmr_sweep > sweep.csv
+ *     nvmr_sweep --traces 3 --archs clank,nvmr --caps 0.1,0.0075
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+#include "workloads/workloads.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+ArchKind
+parseArch(const std::string &name)
+{
+    if (name == "ideal")
+        return ArchKind::Ideal;
+    if (name == "clank")
+        return ArchKind::Clank;
+    if (name == "clank_original")
+        return ArchKind::ClankOriginal;
+    if (name == "task")
+        return ArchKind::Task;
+    if (name == "nvmr")
+        return ArchKind::Nvmr;
+    if (name == "hoop")
+        return ArchKind::Hoop;
+    fatal("unknown architecture '", name, "'");
+}
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "jit")
+        return PolicyKind::Jit;
+    if (name == "watchdog")
+        return PolicyKind::Watchdog;
+    if (name == "none")
+        return PolicyKind::None;
+    fatal("unknown policy '", name,
+          "' (spendthrift needs offline training)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    int num_traces = 5;
+    std::vector<std::string> archs = {"clank", "nvmr", "hoop"};
+    std::vector<std::string> policies = {"jit", "watchdog"};
+    // "none" is also accepted (task-based runs).
+    std::vector<double> caps = {0.1};
+    std::vector<std::string> workloads;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for ", argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--traces") {
+            num_traces = std::atoi(need(i));
+        } else if (a == "--archs") {
+            archs = splitList(need(i));
+        } else if (a == "--policies") {
+            policies = splitList(need(i));
+        } else if (a == "--caps") {
+            caps.clear();
+            for (const std::string &c : splitList(need(i)))
+                caps.push_back(std::strtod(c.c_str(), nullptr));
+        } else if (a == "--workloads") {
+            workloads = splitList(need(i));
+        } else {
+            fatal("unknown argument '", a, "'");
+        }
+    }
+    if (workloads.empty())
+        for (const WorkloadInfo &w : allWorkloads())
+            workloads.push_back(w.name);
+
+    auto traces = HarvestTrace::standardSet(num_traces);
+
+    std::printf(
+        "workload,arch,policy,capacitor_f,total_uj,forward_uj,"
+        "overhead_uj,backup_uj,restore_uj,reclaim_uj,dead_uj,"
+        "backups,violations,renames,reclaims,power_failures,"
+        "nvm_writes,max_wear,completed,validated\n");
+
+    for (const std::string &wl : workloads) {
+        Program prog = assembleWorkload(wl);
+        for (const std::string &arch_name : archs) {
+            ArchKind arch = parseArch(arch_name);
+            for (const std::string &pol_name : policies) {
+                PolicySpec spec;
+                spec.kind = parsePolicy(pol_name);
+                for (double farads : caps) {
+                    SystemConfig cfg;
+                    cfg.capacitorFarads = farads;
+                    Aggregate a = runAveraged(prog, arch, cfg, spec,
+                                              traces);
+                    std::printf(
+                        "%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.2f,"
+                        "%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,"
+                        "%.0f,%d,%d\n",
+                        wl.c_str(), arch_name.c_str(),
+                        pol_name.c_str(), farads,
+                        a.totalEnergyNj / 1000.0,
+                        a.energyOf(ECat::Forward) / 1000.0,
+                        (a.energyOf(ECat::ForwardOverhead) +
+                         a.energyOf(ECat::BackupOverhead) +
+                         a.energyOf(ECat::RestoreOverhead)) /
+                            1000.0,
+                        a.energyOf(ECat::Backup) / 1000.0,
+                        a.energyOf(ECat::Restore) / 1000.0,
+                        a.energyOf(ECat::Reclaim) / 1000.0,
+                        a.energyOf(ECat::Dead) / 1000.0, a.backups,
+                        a.violations, a.renames, a.reclaims,
+                        a.powerFailures, a.nvmWrites, a.maxWear,
+                        a.allCompleted ? 1 : 0,
+                        a.allValidated ? 1 : 0);
+                    std::fflush(stdout);
+                }
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Offline Spendthrift training (Section 5.2): run the JIT oracle on
+ * the training traces for one architecture, train the 2-8-8-1 MLP on
+ * the labelled samples, report held-out accuracy and save the model
+ * for nvmr_sim's `--policy spendthrift --model` flag.
+ *
+ *     nvmr_train clank.model -a clank
+ *     nvmr_train nvmr.model -a nvmr -w hist,dwt,adpcm_encode --cap 0.0075
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "sim/experiment.hh"
+
+using namespace nvmr;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::string out_path;
+    std::string arch_name = "clank";
+    std::vector<std::string> workloads = {"hist", "dwt",
+                                          "adpcm_encode"};
+    double cap = 7.5e-3; // small enough that the oracle fires often
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for ", argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "-a" || a == "--arch") {
+            arch_name = need(i);
+        } else if (a == "-w" || a == "--workloads") {
+            workloads.clear();
+            std::stringstream ss(need(i));
+            std::string item;
+            while (std::getline(ss, item, ','))
+                workloads.push_back(item);
+        } else if (a == "--cap") {
+            cap = std::strtod(need(i), nullptr);
+        } else if (a[0] == '-') {
+            fatal("unknown argument '", a, "'");
+        } else {
+            out_path = a;
+        }
+    }
+    fatal_if(out_path.empty(),
+             "usage: nvmr_train OUT.model [-a arch] [-w w1,w2] "
+             "[--cap F]");
+
+    ArchKind arch;
+    if (arch_name == "clank")
+        arch = ArchKind::Clank;
+    else if (arch_name == "nvmr")
+        arch = ArchKind::Nvmr;
+    else if (arch_name == "hoop")
+        arch = ArchKind::Hoop;
+    else if (arch_name == "clank_original")
+        arch = ArchKind::ClankOriginal;
+    else
+        fatal("unknown architecture '", arch_name, "'");
+
+    SystemConfig cfg;
+    cfg.capacitorFarads = cap;
+
+    std::printf("training on %zu workloads x 7 traces (%s, %g F)\n",
+                workloads.size(), arch_name.c_str(), cap);
+    double accuracy = 0;
+    SpendthriftModel model =
+        trainSpendthriftModel(arch, cfg, workloads, &accuracy);
+    model.saveToFile(out_path);
+    std::printf("held-out accuracy: %.1f%% (3 test traces)\n",
+                accuracy * 100.0);
+    std::printf("saved to %s\n", out_path.c_str());
+    return 0;
+}
