@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gbf.dir/ablation_gbf.cc.o"
+  "CMakeFiles/ablation_gbf.dir/ablation_gbf.cc.o.d"
+  "ablation_gbf"
+  "ablation_gbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lbf.dir/ablation_lbf.cc.o"
+  "CMakeFiles/ablation_lbf.dir/ablation_lbf.cc.o.d"
+  "ablation_lbf"
+  "ablation_lbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nvm_tech.dir/ablation_nvm_tech.cc.o"
+  "CMakeFiles/ablation_nvm_tech.dir/ablation_nvm_tech.cc.o.d"
+  "ablation_nvm_tech"
+  "ablation_nvm_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nvm_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

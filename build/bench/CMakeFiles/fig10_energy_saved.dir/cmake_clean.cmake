@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy_saved.dir/fig10_energy_saved.cc.o"
+  "CMakeFiles/fig10_energy_saved.dir/fig10_energy_saved.cc.o.d"
+  "fig10_energy_saved"
+  "fig10_energy_saved.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_saved.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

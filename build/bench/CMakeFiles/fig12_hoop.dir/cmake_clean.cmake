@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_hoop.dir/fig12_hoop.cc.o"
+  "CMakeFiles/fig12_hoop.dir/fig12_hoop.cc.o.d"
+  "fig12_hoop"
+  "fig12_hoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_reclaim.dir/fig14_reclaim.cc.o"
+  "CMakeFiles/fig14_reclaim.dir/fig14_reclaim.cc.o.d"
+  "fig14_reclaim"
+  "fig14_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

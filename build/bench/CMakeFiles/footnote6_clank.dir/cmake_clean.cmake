@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footnote6_clank.dir/footnote6_clank.cc.o"
+  "CMakeFiles/footnote6_clank.dir/footnote6_clank.cc.o.d"
+  "footnote6_clank"
+  "footnote6_clank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footnote6_clank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for footnote6_clank.
+# This may be replaced when dependencies are built.

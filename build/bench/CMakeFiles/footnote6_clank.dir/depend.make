@@ -1,0 +1,2 @@
+# Empty dependencies file for footnote6_clank.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_violations.dir/table3_violations.cc.o"
+  "CMakeFiles/table3_violations.dir/table3_violations.cc.o.d"
+  "table3_violations"
+  "table3_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

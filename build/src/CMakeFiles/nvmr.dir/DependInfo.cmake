@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/arch.cc" "src/CMakeFiles/nvmr.dir/arch/arch.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/arch.cc.o.d"
+  "/root/repo/src/arch/clank.cc" "src/CMakeFiles/nvmr.dir/arch/clank.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/clank.cc.o.d"
+  "/root/repo/src/arch/clank_original.cc" "src/CMakeFiles/nvmr.dir/arch/clank_original.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/clank_original.cc.o.d"
+  "/root/repo/src/arch/hoop.cc" "src/CMakeFiles/nvmr.dir/arch/hoop.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/hoop.cc.o.d"
+  "/root/repo/src/arch/ideal.cc" "src/CMakeFiles/nvmr.dir/arch/ideal.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/ideal.cc.o.d"
+  "/root/repo/src/arch/task.cc" "src/CMakeFiles/nvmr.dir/arch/task.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/arch/task.cc.o.d"
+  "/root/repo/src/common/barchart.cc" "src/CMakeFiles/nvmr.dir/common/barchart.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/common/barchart.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/nvmr.dir/common/log.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/nvmr.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/nvmr.dir/common/table.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/common/table.cc.o.d"
+  "/root/repo/src/core/freelist.cc" "src/CMakeFiles/nvmr.dir/core/freelist.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/core/freelist.cc.o.d"
+  "/root/repo/src/core/maptable.cc" "src/CMakeFiles/nvmr.dir/core/maptable.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/core/maptable.cc.o.d"
+  "/root/repo/src/core/mtcache.cc" "src/CMakeFiles/nvmr.dir/core/mtcache.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/core/mtcache.cc.o.d"
+  "/root/repo/src/core/nvmr_arch.cc" "src/CMakeFiles/nvmr.dir/core/nvmr_arch.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/core/nvmr_arch.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/nvmr.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/isa/assembler.cc" "src/CMakeFiles/nvmr.dir/isa/assembler.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/isa/assembler.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/nvmr.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/nvmr.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/isa/program.cc.o.d"
+  "/root/repo/src/mem/bloom.cc" "src/CMakeFiles/nvmr.dir/mem/bloom.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/mem/bloom.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/nvmr.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/nvm.cc" "src/CMakeFiles/nvmr.dir/mem/nvm.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/mem/nvm.cc.o.d"
+  "/root/repo/src/power/capacitor.cc" "src/CMakeFiles/nvmr.dir/power/capacitor.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/power/capacitor.cc.o.d"
+  "/root/repo/src/power/energy.cc" "src/CMakeFiles/nvmr.dir/power/energy.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/power/energy.cc.o.d"
+  "/root/repo/src/power/policy.cc" "src/CMakeFiles/nvmr.dir/power/policy.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/power/policy.cc.o.d"
+  "/root/repo/src/power/spendthrift.cc" "src/CMakeFiles/nvmr.dir/power/spendthrift.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/power/spendthrift.cc.o.d"
+  "/root/repo/src/power/trace.cc" "src/CMakeFiles/nvmr.dir/power/trace.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/power/trace.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/nvmr.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/randprog.cc" "src/CMakeFiles/nvmr.dir/sim/randprog.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/sim/randprog.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/nvmr.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/nvmr.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/workloads/asm_2dconv.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_2dconv.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_2dconv.cc.o.d"
+  "/root/repo/src/workloads/asm_adpcm.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_adpcm.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_adpcm.cc.o.d"
+  "/root/repo/src/workloads/asm_basicmath.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_basicmath.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_basicmath.cc.o.d"
+  "/root/repo/src/workloads/asm_blowfish.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_blowfish.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_blowfish.cc.o.d"
+  "/root/repo/src/workloads/asm_dijkstra.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_dijkstra.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_dijkstra.cc.o.d"
+  "/root/repo/src/workloads/asm_dwt.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_dwt.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_dwt.cc.o.d"
+  "/root/repo/src/workloads/asm_hist.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_hist.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_hist.cc.o.d"
+  "/root/repo/src/workloads/asm_picojpeg.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_picojpeg.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_picojpeg.cc.o.d"
+  "/root/repo/src/workloads/asm_qsort.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_qsort.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_qsort.cc.o.d"
+  "/root/repo/src/workloads/asm_stringsearch.cc" "src/CMakeFiles/nvmr.dir/workloads/asm_stringsearch.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/asm_stringsearch.cc.o.d"
+  "/root/repo/src/workloads/golden.cc" "src/CMakeFiles/nvmr.dir/workloads/golden.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/golden.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/CMakeFiles/nvmr.dir/workloads/workloads.cc.o" "gcc" "src/CMakeFiles/nvmr.dir/workloads/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

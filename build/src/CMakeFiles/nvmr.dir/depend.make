@@ -1,0 +1,2 @@
+# Empty dependencies file for nvmr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,3 @@
+src/CMakeFiles/nvmr.dir/workloads/asm_2dconv.cc.o: \
+ /root/repo/src/workloads/asm_2dconv.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/sources.hh

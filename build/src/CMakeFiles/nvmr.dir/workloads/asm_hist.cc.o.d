@@ -1,0 +1,3 @@
+src/CMakeFiles/nvmr.dir/workloads/asm_hist.cc.o: \
+ /root/repo/src/workloads/asm_hist.cc /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/sources.hh

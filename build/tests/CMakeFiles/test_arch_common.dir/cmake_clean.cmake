@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_common.dir/test_arch_common.cc.o"
+  "CMakeFiles/test_arch_common.dir/test_arch_common.cc.o.d"
+  "test_arch_common"
+  "test_arch_common.pdb"
+  "test_arch_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

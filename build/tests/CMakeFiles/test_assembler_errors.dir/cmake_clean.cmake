@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler_errors.dir/test_assembler_errors.cc.o"
+  "CMakeFiles/test_assembler_errors.dir/test_assembler_errors.cc.o.d"
+  "test_assembler_errors"
+  "test_assembler_errors.pdb"
+  "test_assembler_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

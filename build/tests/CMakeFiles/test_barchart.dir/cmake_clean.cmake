@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barchart.dir/test_barchart.cc.o"
+  "CMakeFiles/test_barchart.dir/test_barchart.cc.o.d"
+  "test_barchart"
+  "test_barchart.pdb"
+  "test_barchart[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barchart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

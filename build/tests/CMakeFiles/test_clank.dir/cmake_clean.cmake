@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clank.dir/test_clank.cc.o"
+  "CMakeFiles/test_clank.dir/test_clank.cc.o.d"
+  "test_clank"
+  "test_clank.pdb"
+  "test_clank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

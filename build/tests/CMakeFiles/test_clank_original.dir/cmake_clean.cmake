@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clank_original.dir/test_clank_original.cc.o"
+  "CMakeFiles/test_clank_original.dir/test_clank_original.cc.o.d"
+  "test_clank_original"
+  "test_clank_original.pdb"
+  "test_clank_original[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clank_original.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

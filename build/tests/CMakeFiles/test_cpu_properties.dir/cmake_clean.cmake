@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_properties.dir/test_cpu_properties.cc.o"
+  "CMakeFiles/test_cpu_properties.dir/test_cpu_properties.cc.o.d"
+  "test_cpu_properties"
+  "test_cpu_properties.pdb"
+  "test_cpu_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

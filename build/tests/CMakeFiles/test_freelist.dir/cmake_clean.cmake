@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_freelist.dir/test_freelist.cc.o"
+  "CMakeFiles/test_freelist.dir/test_freelist.cc.o.d"
+  "test_freelist"
+  "test_freelist.pdb"
+  "test_freelist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_freelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hoop.dir/test_hoop.cc.o"
+  "CMakeFiles/test_hoop.dir/test_hoop.cc.o.d"
+  "test_hoop"
+  "test_hoop.pdb"
+  "test_hoop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

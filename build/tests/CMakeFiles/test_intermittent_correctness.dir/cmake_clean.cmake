@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intermittent_correctness.dir/test_intermittent_correctness.cc.o"
+  "CMakeFiles/test_intermittent_correctness.dir/test_intermittent_correctness.cc.o.d"
+  "test_intermittent_correctness"
+  "test_intermittent_correctness.pdb"
+  "test_intermittent_correctness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intermittent_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa_programs.dir/test_isa_programs.cc.o"
+  "CMakeFiles/test_isa_programs.dir/test_isa_programs.cc.o.d"
+  "test_isa_programs"
+  "test_isa_programs.pdb"
+  "test_isa_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

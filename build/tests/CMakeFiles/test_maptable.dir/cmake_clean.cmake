@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maptable.dir/test_maptable.cc.o"
+  "CMakeFiles/test_maptable.dir/test_maptable.cc.o.d"
+  "test_maptable"
+  "test_maptable.pdb"
+  "test_maptable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maptable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtcache.dir/test_mtcache.cc.o"
+  "CMakeFiles/test_mtcache.dir/test_mtcache.cc.o.d"
+  "test_mtcache"
+  "test_mtcache.pdb"
+  "test_mtcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvm.dir/test_nvm.cc.o"
+  "CMakeFiles/test_nvm.dir/test_nvm.cc.o.d"
+  "test_nvm"
+  "test_nvm.pdb"
+  "test_nvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvmr_arch.dir/test_nvmr_arch.cc.o"
+  "CMakeFiles/test_nvmr_arch.dir/test_nvmr_arch.cc.o.d"
+  "test_nvmr_arch"
+  "test_nvmr_arch.pdb"
+  "test_nvmr_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvmr_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

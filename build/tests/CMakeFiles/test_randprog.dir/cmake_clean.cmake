@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randprog.dir/test_randprog.cc.o"
+  "CMakeFiles/test_randprog.dir/test_randprog.cc.o.d"
+  "test_randprog"
+  "test_randprog.pdb"
+  "test_randprog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

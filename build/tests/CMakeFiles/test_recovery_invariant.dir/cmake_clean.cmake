@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recovery_invariant.dir/test_recovery_invariant.cc.o"
+  "CMakeFiles/test_recovery_invariant.dir/test_recovery_invariant.cc.o.d"
+  "test_recovery_invariant"
+  "test_recovery_invariant.pdb"
+  "test_recovery_invariant[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recovery_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

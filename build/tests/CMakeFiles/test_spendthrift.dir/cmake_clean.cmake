@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spendthrift.dir/test_spendthrift.cc.o"
+  "CMakeFiles/test_spendthrift.dir/test_spendthrift.cc.o.d"
+  "test_spendthrift"
+  "test_spendthrift.pdb"
+  "test_spendthrift[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spendthrift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

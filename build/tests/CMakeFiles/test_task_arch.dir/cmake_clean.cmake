@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_arch.dir/test_task_arch.cc.o"
+  "CMakeFiles/test_task_arch.dir/test_task_arch.cc.o.d"
+  "test_task_arch"
+  "test_task_arch.pdb"
+  "test_task_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmr_fuzz.dir/nvmr_fuzz.cc.o"
+  "CMakeFiles/nvmr_fuzz.dir/nvmr_fuzz.cc.o.d"
+  "nvmr_fuzz"
+  "nvmr_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmr_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmr_sim.dir/nvmr_sim.cc.o"
+  "CMakeFiles/nvmr_sim.dir/nvmr_sim.cc.o.d"
+  "nvmr_sim"
+  "nvmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

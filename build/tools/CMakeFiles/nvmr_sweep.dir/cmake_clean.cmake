@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmr_sweep.dir/nvmr_sweep.cc.o"
+  "CMakeFiles/nvmr_sweep.dir/nvmr_sweep.cc.o.d"
+  "nvmr_sweep"
+  "nvmr_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmr_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

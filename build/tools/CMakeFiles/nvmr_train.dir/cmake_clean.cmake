@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmr_train.dir/nvmr_train.cc.o"
+  "CMakeFiles/nvmr_train.dir/nvmr_train.cc.o.d"
+  "nvmr_train"
+  "nvmr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
