@@ -48,6 +48,9 @@ IntermittentArch::IntermittentArch(const SystemConfig &config, Nvm &nvm_,
     statRegistry.add(&archStats.reclaims);
     statRegistry.add(&archStats.restores);
     statRegistry.add(&archStats.powerFailures);
+    statRegistry.add(&archStats.tornBackups);
+    statRegistry.add(&archStats.eccCorrected);
+    statRegistry.add(&archStats.eccUncorrectable);
 }
 
 void
@@ -152,13 +155,102 @@ IntermittentArch::persistSnapshot(const CpuSnapshot &snap)
 {
     // Registers + PC are written to a double-buffered NVM region;
     // model as persistWords word writes (no address-level wear, the
-    // region alternates between two buffers).
-    for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
-        sink.addCycles(cfg.tech.flashWriteCycles);
-        sink.consume(cfg.tech.flashWriteWordNj);
+    // region alternates between two buffers). Under fault injection
+    // each word is an interruptible persist boundary; a crash mid-
+    // sequence leaves the staged slot's commit record unwritten, so
+    // restore keeps using the other slot.
+    if (faults && faults->enabled()) {
+        for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
+            faults->persistPoint();
+            sink.addCycles(cfg.tech.flashWriteCycles);
+            sink.consume(cfg.tech.flashWriteWordNj);
+        }
+    } else {
+        for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
+            sink.addCycles(cfg.tech.flashWriteCycles);
+            sink.consume(cfg.tech.flashWriteWordNj);
+        }
     }
-    persistedSnap = snap;
-    persistedValid = true;
+    BackupSlot &target = snapSlots[1 - activeSlot];
+    target.seq = committedSeq + 1;
+    target.snap = snap;
+    snapStaged = true;
+}
+
+void
+IntermittentArch::commitBackup(BackupReason reason)
+{
+    panic_if(!snapStaged, "backup committed without a snapshot");
+    // The last NVM word this backup persisted is its commit record;
+    // at this point it has landed, so the staged slot becomes the
+    // recovery image. Pure bookkeeping: no charges, no persists.
+    activeSlot = 1 - activeSlot;
+    committedSeq = snapSlots[activeSlot].seq;
+    snapStaged = false;
+    if (txnOpen) {
+        txnCommitted = true;
+        onBackupCommitted();
+    }
+    ++archStats.backups;
+    ++archStats.backupsByReason[static_cast<size_t>(reason)];
+}
+
+void
+IntermittentArch::beginBackupTxn()
+{
+    if (!faults || !faults->enabled())
+        return; // zero-cost when fault injection is off
+    txnOpen = true;
+    txnCommitted = false;
+    redoJournal.clear();
+    shadowCapture();
+}
+
+void
+IntermittentArch::finishBackupTxn()
+{
+    if (!txnOpen)
+        return;
+    // Replay the deferred home writes now that the commit record is
+    // durable. A crash mid-replay re-runs the whole journal at
+    // restore -- replay is idempotent (last-write-wins per word and
+    // the journal only holds committed data).
+    for (const auto &entry : redoJournal)
+        nvm.writeWord(entry.first, entry.second);
+    redoJournal.clear();
+    txnOpen = false;
+    txnCommitted = false;
+}
+
+void
+IntermittentArch::journaledWriteBlock(Addr home, const CacheLine &line)
+{
+    chargeJournalWrite(cfg.cache.wordsPerBlock());
+    if (txnOpen) {
+        for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
+            redoJournal.emplace_back(home + w * kWordBytes,
+                                     line.data[w]);
+    } else {
+        writeBlockTo(home, line);
+    }
+}
+
+void
+IntermittentArch::journaledWriteWord(Addr addr, Word value)
+{
+    if (txnOpen) {
+        chargeJournalWrite(1);
+        redoJournal.emplace_back(addr, value);
+    } else {
+        nvm.writeWord(addr, value);
+    }
+}
+
+void
+IntermittentArch::writeBlockTo(Addr target, const CacheLine &line)
+{
+    for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
+        nvm.writeWord(target + w * kWordBytes, line.data[w]);
 }
 
 void
@@ -168,9 +260,21 @@ IntermittentArch::chargeJournalWrite(uint64_t words)
     // it is charged for energy and time but not per-word wear.
     if (!cfg.modelBackupAtomicity)
         return;
-    sink.addCycles(words * cfg.tech.flashWriteCycles);
-    sink.consume(static_cast<double>(words) *
-                 cfg.tech.flashWriteWordNj);
+    if (faults && faults->enabled()) {
+        // Word-granular, interruptible journal appends. Kept on a
+        // separate branch so the fault-free path charges in the
+        // exact same bulk operations as the seed (bit-identical
+        // accounting).
+        for (uint64_t w = 0; w < words; ++w) {
+            faults->persistPoint();
+            sink.addCycles(cfg.tech.flashWriteCycles);
+            sink.consume(cfg.tech.flashWriteWordNj);
+        }
+    } else {
+        sink.addCycles(words * cfg.tech.flashWriteCycles);
+        sink.consume(static_cast<double>(words) *
+                     cfg.tech.flashWriteWordNj);
+    }
 }
 
 NanoJoules
@@ -209,19 +313,51 @@ IntermittentArch::onPowerFail()
 {
     ++archStats.powerFailures;
     cache.invalidateAll();
+    if (txnOpen && !txnCommitted) {
+        // Torn backup: its commit record never landed. Roll the
+        // shadowed NVM metadata back to the previous recovery image
+        // and drop the un-replayed journal. Volatile bookkeeping
+        // only -- the physical prefix the crash left behind is in
+        // blocks the previous image does not reference.
+        shadowRollback();
+        redoJournal.clear();
+        ++archStats.tornBackups;
+    }
+    // A committed txn keeps its journal: performRestore replays it.
+    txnOpen = false;
+    txnCommitted = false;
+    snapStaged = false;
 }
 
 CpuSnapshot
 IntermittentArch::performRestore()
 {
-    panic_if(!persistedValid, "restore without a persisted backup");
-    // Read back registers + PC.
+    panic_if(committedSeq == 0, "restore without a persisted backup");
+    // Committed backup, crash before the journal home writes
+    // finished replaying: replay the whole journal (idempotent).
+    if (!redoJournal.empty()) {
+        for (const auto &entry : redoJournal)
+            nvm.writeWord(entry.first, entry.second);
+        redoJournal.clear();
+    }
+    // Read back registers + PC from the slot whose commit record
+    // matches the last committed sequence number.
     for (unsigned i = 0; i < CpuSnapshot::persistWords; ++i) {
         sink.addCycles(cfg.tech.flashReadCycles);
         sink.consume(cfg.tech.flashReadWordNj);
     }
     ++archStats.restores;
-    return persistedSnap;
+    panic_if(snapSlots[activeSlot].seq != committedSeq,
+             "backup slot does not match committed sequence");
+    return snapSlots[activeSlot].snap;
+}
+
+void
+IntermittentArch::syncFaultCounters(const FaultStats &fs)
+{
+    archStats.eccCorrected.set(static_cast<double>(fs.eccCorrected));
+    archStats.eccUncorrectable.set(
+        static_cast<double>(fs.eccUncorrectable));
 }
 
 NanoJoules
@@ -252,14 +388,7 @@ IntermittentArch::inspectWord(Addr addr) const
     if (found)
         return result;
     Addr mapped = inspectMapping(block) + (addr - block);
-    return nvm.peekWord(mapped);
-}
-
-void
-IntermittentArch::countBackup(BackupReason reason)
-{
-    ++archStats.backups;
-    ++archStats.backupsByReason[static_cast<size_t>(reason)];
+    return nvm.inspectWord(mapped);
 }
 
 // ----------------------------------------------------------------------
@@ -312,13 +441,6 @@ DominanceArch::normalWriteback(CacheLine &line)
 {
     writeBlockTo(line.blockAddr, line);
     line.dirty = false;
-}
-
-void
-DominanceArch::writeBlockTo(Addr target, const CacheLine &line)
-{
-    for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
-        nvm.writeWord(target + w * kWordBytes, line.data[w]);
 }
 
 void

@@ -14,12 +14,15 @@
 #ifndef NVMR_ARCH_ARCH_HH
 #define NVMR_ARCH_ARCH_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
 #include "cpu/cpu.hh"
+#include "fault/fault.hh"
 #include "mem/bloom.hh"
 #include "mem/cache.hh"
 #include "mem/nvm.hh"
@@ -51,14 +54,8 @@ const char *backupReasonName(BackupReason reason);
 constexpr size_t kNumBackupReasons =
     static_cast<size_t>(BackupReason::NUM);
 
-/**
- * Thrown when the capacitor browns out during execution. The
- * simulator's main loop catches it and runs the power-failure /
- * recharge / restore sequence.
- */
-struct PowerFailure
-{
-};
+// PowerFailure lives in fault/fault.hh so the injector can throw it
+// without depending on the architecture layer.
 
 /**
  * The simulator-side interface an architecture uses to invoke a full
@@ -82,6 +79,12 @@ struct ArchStats
     Scalar reclaims{"reclaims", "map table entries reclaimed"};
     Scalar restores{"restores", "restores after power loss"};
     Scalar powerFailures{"power_failures", "brown-outs"};
+    Scalar tornBackups{"torn_backups",
+                       "backups cut by power loss and rolled back"};
+    Scalar eccCorrected{"ecc_corrected",
+                        "NVM bit errors corrected by SECDED"};
+    Scalar eccUncorrectable{"ecc_uncorrectable",
+                            "NVM reads with uncorrectable errors"};
     std::array<uint64_t, kNumBackupReasons> backupsByReason{};
 };
 
@@ -101,6 +104,13 @@ class IntermittentArch : public DataPort
 
     /** Wire up the simulator's backup orchestration. */
     void attachHost(BackupHost *backup_host) { host = backup_host; }
+
+    /** Wire up the fault injector (null keeps the fault-free
+     *  fast path). NvMR forwards it to its NVM structures. */
+    virtual void attachFaults(FaultInjector *injector)
+    {
+        faults = injector;
+    }
 
     /**
      * Load the program's data image into NVM and lay out the
@@ -137,6 +147,23 @@ class IntermittentArch : public DataPort
     /** Run after a persisted backup (NvMR reclaims here). */
     virtual void postBackup(BackupReason reason) { (void)reason; }
 
+    /**
+     * Open the two-phase backup transaction (fault injection only;
+     * a no-op when the injector is off). Metadata structures shadow
+     * their pre-backup state so a mid-backup crash rolls back to the
+     * previous recovery image, and in-place persists of recovery
+     * data are journaled with the home write deferred until after
+     * the commit record.
+     */
+    void beginBackupTxn();
+
+    /**
+     * Close the transaction after a committed backup: replay the
+     * deferred journal home writes (charged; crash-safe, replay is
+     * idempotent and re-runs at restore if cut short).
+     */
+    void finishBackupTxn();
+
     /** Power was lost: drop all volatile state. */
     virtual void onPowerFail();
 
@@ -149,8 +176,14 @@ class IntermittentArch : public DataPort
     /** Energy a restore costs (precheck at power-on). */
     virtual NanoJoules restoreCostNowNj() const;
 
-    /** True once any backup has persisted. */
-    bool hasPersistedState() const { return persistedValid; }
+    /** True once any backup has committed. */
+    bool hasPersistedState() const { return committedSeq != 0; }
+
+    /** Sequence number of the last committed backup (0 = none). */
+    uint64_t committedBackupSeq() const { return committedSeq; }
+
+    /** Copy the injector's ECC counters into ArchStats. */
+    void syncFaultCounters(const FaultStats &fs);
 
     // ------------------------------------------------------------------
     // Validation / inspection (no energy accounting)
@@ -180,9 +213,36 @@ class IntermittentArch : public DataPort
     EnergySink &sink;
     DataCache cache;
     BackupHost *host = nullptr;
+    FaultInjector *faults = nullptr;
 
-    bool persistedValid = false;
-    CpuSnapshot persistedSnap;
+    /**
+     * One half of the double-buffered NVM backup region. The last
+     * word persisted for a backup acts as its sequence-numbered
+     * commit record: until it lands, the slot's seq stays stale and
+     * restore falls back to the other (last complete) slot.
+     */
+    struct BackupSlot
+    {
+        uint64_t seq = 0;
+        CpuSnapshot snap;
+    };
+
+    std::array<BackupSlot, 2> snapSlots;
+    /** Slot holding the last *committed* backup. persistSnapshot
+     *  always writes the other one. */
+    uint32_t activeSlot = 0;
+    /** Seq of the last committed backup; 0 before the first. */
+    uint64_t committedSeq = 0;
+
+    /** Two-phase backup transaction state (fault injection only). */
+    bool txnOpen = false;
+    bool txnCommitted = false;
+    bool snapStaged = false;
+
+    /** Redo journal: home writes of in-place persists, deferred
+     *  until after the commit record (replayed by finishBackupTxn
+     *  or, after a crash mid-replay, by performRestore). */
+    std::vector<std::pair<Addr, Word>> redoJournal;
 
     Addr appEnd = 0;
 
@@ -215,8 +275,40 @@ class IntermittentArch : public DataPort
     /** Access path shared by loadWord/storeWord/loadByte/storeByte. */
     CacheLine &access(Addr addr, uint32_t nbytes, bool is_store);
 
-    /** Persist the register snapshot (17 NVM word writes). */
+    /**
+     * Persist the register snapshot (17 NVM word writes) into the
+     * inactive backup slot. The backup only becomes recoverable when
+     * commitBackup() validates its commit record -- every
+     * architecture's last persisted word doubles as that record, so
+     * the protocol costs no extra NVM traffic.
+     */
     void persistSnapshot(const CpuSnapshot &snap);
+
+    /**
+     * Architecture hooks around the transaction: capture shadow
+     * copies of NVM metadata at txn open, roll them back after a
+     * pre-commit crash, make staged updates durable at commit.
+     */
+    virtual void shadowCapture() {}
+    virtual void shadowRollback() {}
+    virtual void onBackupCommitted() {}
+
+    /**
+     * Persist a block as part of a backup's recovery image when the
+     * target is live recovery state (in-place home writes). Charges
+     * the journal copy (footnote 3 of the paper) plus -- under an
+     * open transaction -- defers the home write into the redo
+     * journal so a mid-backup crash leaves the previous image
+     * intact. Without a transaction this is exactly the seed's
+     * chargeJournalWrite + writeBlockTo sequence.
+     */
+    void journaledWriteBlock(Addr home, const CacheLine &line);
+
+    /** Word-granular variant (HOOP's straight-home fallback). */
+    void journaledWriteWord(Addr addr, Word value);
+
+    /** Write a block's words to an NVM location (charged). */
+    void writeBlockTo(Addr target, const CacheLine &line);
 
     /**
      * Charge the journal copy of a double-buffered persist: backups
@@ -237,7 +329,13 @@ class IntermittentArch : public DataPort
     /** Cost helper: n NVM word reads including stall-cycle energy. */
     NanoJoules nvmReadCostNj(uint64_t words) const;
 
-    void countBackup(BackupReason reason);
+    /**
+     * Commit point of a backup: runs directly after the backup's
+     * final NVM persist (which is its commit record), marks the
+     * staged slot live and bumps the counters. A crash anywhere
+     * before this call tears the backup; onPowerFail rolls it back.
+     */
+    void commitBackup(BackupReason reason);
 };
 
 /**
@@ -273,9 +371,6 @@ class DominanceArch : public IntermittentArch
 
     /** Dirty, write-dominated/unknown block is leaving the cache. */
     virtual void normalWriteback(CacheLine &line);
-
-    /** Write a block's words to an NVM location (charged). */
-    void writeBlockTo(Addr target, const CacheLine &line);
 
     /** Reset GBF and LBF states (every backup does this). */
     void resetDominanceState();

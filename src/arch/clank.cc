@@ -42,15 +42,14 @@ ClankArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
     // constraint; footnote 3). That doubles the write traffic.
     cache.forEachLine([&](CacheLine &line) {
         if (line.valid && line.dirty) {
-            chargeJournalWrite(cfg.cache.wordsPerBlock());
-            writeBlockTo(line.blockAddr, line);
+            journaledWriteBlock(line.blockAddr, line);
             line.dirty = false;
             line.dirtyWordMask = 0;
         }
     });
     persistSnapshot(snap);
     resetDominanceState();
-    countBackup(reason);
+    commitBackup(reason);
 }
 
 NanoJoules

@@ -96,7 +96,7 @@ ClankOriginalArch::storeByte(Addr addr, uint8_t value)
         }
         readFirst.insert(word);
     }
-    Word w = nvm.peekWord(word); // RMW read, charged as a read
+    Word w = nvm.inspectWord(word); // RMW read, charged as a read
     sink.addCycles(cfg.tech.flashReadCycles);
     sink.consume(cfg.tech.flashReadWordNj);
     unsigned shift = 8 * (addr & 3u);
@@ -113,7 +113,7 @@ ClankOriginalArch::performBackup(const CpuSnapshot &snap,
     persistSnapshot(snap);
     readFirst.clear();
     writeFirst.clear();
-    countBackup(reason);
+    commitBackup(reason);
 }
 
 NanoJoules
@@ -133,7 +133,7 @@ ClankOriginalArch::onPowerFail()
 Word
 ClankOriginalArch::inspectWord(Addr addr) const
 {
-    return nvm.peekWord(addr & ~3u);
+    return nvm.inspectWord(addr & ~3u);
 }
 
 std::vector<Word>

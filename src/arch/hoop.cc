@@ -29,7 +29,7 @@ HoopArch::backingWord(Addr word_addr) const
     auto log = committedLog.find(word_addr);
     if (log != committedLog.end())
         return log->second;
-    return nvm.peekWord(word_addr);
+    return nvm.inspectWord(word_addr);
 }
 
 std::vector<Word>
@@ -48,6 +48,12 @@ HoopArch::fetchBlock(Addr block_addr)
         if (in_buffer) {
             sink.consume(kOopBufferTouchNj);
             data[w] = backingWord(addr);
+        } else if (faults && faults->enabled() &&
+                   committedLog.find(addr) == committedLog.end()) {
+            // A genuine home read: go through the Nvm so the word
+            // passes the bit-error / ECC pipeline (log hits below
+            // serve SRAM-held data and only charge at NVM scale).
+            data[w] = nvm.readWord(addr);
         } else {
             sink.addCycles(cfg.tech.flashReadCycles);
             sink.consume(cfg.tech.flashReadWordNj);
@@ -148,10 +154,12 @@ HoopArch::flushBufferToRegion()
     if (incoming > cfg.oopRegionEntries) {
         // The update set cannot fit the region at all (tiny-platform
         // configuration): apply it straight to the home addresses.
-        // The backup is atomic, so the in-place writes are safe, but
-        // any stale committed-log entries for these words must go.
+        // The in-place writes destroy recovery state, so under an
+        // open backup transaction they are journaled and deferred
+        // past the commit record; any stale committed-log entries
+        // for these words must go (shadow-rolled on a torn backup).
         for (const auto &[addr, val] : updates) {
-            nvm.writeWord(addr, val);
+            journaledWriteWord(addr, val);
             committedLog.erase(addr);
         }
         oopBuffer.clear();
@@ -181,7 +189,33 @@ HoopArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
 {
     flushBufferToRegion();
     persistSnapshot(snap);
-    countBackup(reason);
+    commitBackup(reason);
+}
+
+void
+HoopArch::shadowCapture()
+{
+    shadowLog = committedLog;
+    shadowFill = regionFill;
+    shadowValid = true;
+}
+
+void
+HoopArch::shadowRollback()
+{
+    if (!shadowValid)
+        return;
+    committedLog = std::move(shadowLog);
+    regionFill = shadowFill;
+    shadowLog.clear();
+    shadowValid = false;
+}
+
+void
+HoopArch::onBackupCommitted()
+{
+    shadowLog.clear();
+    shadowValid = false;
 }
 
 NanoJoules

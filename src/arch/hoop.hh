@@ -53,6 +53,12 @@ class HoopArch : public IntermittentArch
     std::vector<Word> fetchBlock(Addr block_addr) override;
     void evictLine(CacheLine &line) override;
 
+    /** Backup-transaction hooks: the committed log *is* HOOP's
+     *  recovery metadata, so a torn backup must roll it back. */
+    void shadowCapture() override;
+    void shadowRollback() override;
+    void onBackupCommitted() override;
+
   private:
     /** Volatile OOP buffer: an append-only log of un-committed word
      *  updates (hardware appends; only reads search it, newest
@@ -70,6 +76,11 @@ class HoopArch : public IntermittentArch
     uint32_t regionFill = 0;
 
     uint64_t gcs = 0;
+
+    /** Pre-backup shadow of the committed log (fault injection). */
+    std::unordered_map<Addr, Word> shadowLog;
+    uint32_t shadowFill = 0;
+    bool shadowValid = false;
 
     /** Latest architectural value of a word, bypassing the cache. */
     Word backingWord(Addr word_addr) const;

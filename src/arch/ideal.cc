@@ -35,15 +35,14 @@ IdealArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
     // like Clank (the backup overwrites recovery state in place).
     cache.forEachLine([&](CacheLine &line) {
         if (line.valid && line.dirty) {
-            chargeJournalWrite(cfg.cache.wordsPerBlock());
-            writeBlockTo(line.blockAddr, line);
+            journaledWriteBlock(line.blockAddr, line);
             line.dirty = false;
             line.dirtyWordMask = 0;
         }
     });
     persistSnapshot(snap);
     resetDominanceState();
-    countBackup(reason);
+    commitBackup(reason);
 }
 
 NanoJoules

@@ -1,6 +1,7 @@
 #include "core/freelist.hh"
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace nvmr
 {
@@ -43,6 +44,21 @@ FreeList::pop()
 void
 FreeList::push(Addr mapping)
 {
+    if (faults && faults->enabled())
+        faults->persistPoint();
+    if (txnActive) {
+        // Buffered until commit: the slot write is charged now but
+        // the queue's live window is untouched, so a torn backup
+        // cannot have clobbered entries the rollback resurrects
+        // (pop-then-push wrap-around) and the retired mapping is
+        // not poppable within the same backup.
+        panic_if(count + pendingPushes.size() >= capacity,
+                 "push to full free list");
+        sink.addCycles(tech.flashWriteCycles);
+        sink.consumeOverhead(tech.flashWriteWordNj);
+        pendingPushes.push_back(mapping);
+        return;
+    }
     panic_if(count == capacity, "push to full free list");
     sink.addCycles(tech.flashWriteCycles);
     sink.consumeOverhead(tech.flashWriteWordNj);
@@ -54,11 +70,70 @@ FreeList::push(Addr mapping)
 void
 FreeList::persistPointers()
 {
-    sink.addCycles(2 * tech.flashWriteCycles);
-    sink.consumeOverhead(2 * tech.flashWriteWordNj);
+    if (faults && faults->enabled()) {
+        // Two interruptible word writes; the pointer pair only
+        // becomes the durable record once both land.
+        faults->persistPoint();
+        sink.addCycles(tech.flashWriteCycles);
+        sink.consumeOverhead(tech.flashWriteWordNj);
+        faults->persistPoint();
+        sink.addCycles(tech.flashWriteCycles);
+        sink.consumeOverhead(tech.flashWriteWordNj);
+    } else {
+        sink.addCycles(2 * tech.flashWriteCycles);
+        sink.consumeOverhead(2 * tech.flashWriteWordNj);
+    }
+    if (txnActive) {
+        // Stage the post-commit pointer state (buffered pushes
+        // included); commitTxn makes it durable with the rest of
+        // the backup.
+        uint32_t pending = static_cast<uint32_t>(pendingPushes.size());
+        stagedReadPtr = readPtr;
+        stagedWritePtr = (writePtr + pending) % capacity;
+        stagedCount = count + pending;
+        stagedValid = true;
+        return;
+    }
     persistedReadPtr = readPtr;
     persistedWritePtr = writePtr;
     persistedCount = count;
+}
+
+void
+FreeList::beginTxn()
+{
+    txnActive = true;
+    pendingPushes.clear();
+    stagedValid = false;
+}
+
+void
+FreeList::commitTxn()
+{
+    if (!txnActive)
+        return;
+    for (Addr mapping : pendingPushes) {
+        panic_if(count == capacity, "push to full free list");
+        slots[writePtr] = mapping;
+        writePtr = (writePtr + 1) % capacity;
+        ++count;
+    }
+    pendingPushes.clear();
+    if (stagedValid) {
+        persistedReadPtr = stagedReadPtr;
+        persistedWritePtr = stagedWritePtr;
+        persistedCount = stagedCount;
+        stagedValid = false;
+    }
+    txnActive = false;
+}
+
+void
+FreeList::rollbackTxn()
+{
+    pendingPushes.clear();
+    stagedValid = false;
+    txnActive = false;
 }
 
 void

@@ -20,6 +20,8 @@
 namespace nvmr
 {
 
+class FaultInjector;
+
 /** NVM circular queue of available block mappings. */
 class FreeList
 {
@@ -59,10 +61,35 @@ class FreeList
     /** Cost of persisting the pointers (for backup estimates). */
     NanoJoules persistPointersCostNj() const;
 
+    /** Crash/bit-error injection for slot and pointer persists. */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
+    // ------------------------------------------------------------------
+    // Backup transaction (fault injection only)
+    // ------------------------------------------------------------------
+
+    /**
+     * Open a backup transaction. Until commit, pushes are charged
+     * normally but buffered outside the queue (so a rolled-back
+     * backup cannot have overwritten live slots, and a pop within
+     * the same backup can never hand a just-retired mapping out
+     * again), and persistPointers() stages its values instead of
+     * making them durable.
+     */
+    void beginTxn();
+
+    /** Apply buffered pushes and make staged pointers durable. */
+    void commitTxn();
+
+    /** Torn backup: drop buffered pushes and staged pointers. The
+     *  caller then runs restorePointers() as usual. */
+    void rollbackTxn();
+
   private:
     uint32_t capacity;
     const TechParams &tech;
     EnergySink &sink;
+    FaultInjector *faults = nullptr;
 
     std::vector<Addr> slots;
     uint32_t readPtr = 0;
@@ -72,6 +99,13 @@ class FreeList
     uint32_t persistedReadPtr = 0;
     uint32_t persistedWritePtr = 0;
     uint32_t persistedCount = 0;
+
+    bool txnActive = false;
+    std::vector<Addr> pendingPushes;
+    bool stagedValid = false;
+    uint32_t stagedReadPtr = 0;
+    uint32_t stagedWritePtr = 0;
+    uint32_t stagedCount = 0;
 };
 
 } // namespace nvmr

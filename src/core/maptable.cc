@@ -1,6 +1,7 @@
 #include "core/maptable.hh"
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace nvmr
 {
@@ -29,6 +30,12 @@ MapTable::lookup(Addr tag)
 void
 MapTable::set(Addr tag, Addr mapping)
 {
+    // One persist boundary for the whole entry: the valid bit flips
+    // last, so a crash here leaves the previous entry readable.
+    if (faults && faults->enabled())
+        faults->persistPoint();
+    if (txnActive)
+        recordUndo(tag);
     sink.addCycles(2 * tech.flashWriteCycles);
     sink.consumeOverhead(2 * tech.flashWriteWordNj);
     auto it = map.find(tag);
@@ -44,9 +51,52 @@ MapTable::set(Addr tag, Addr mapping)
 void
 MapTable::erase(Addr tag)
 {
+    if (faults && faults->enabled())
+        faults->persistPoint();
+    if (txnActive)
+        recordUndo(tag);
     sink.addCycles(tech.flashWriteCycles);
     sink.consumeOverhead(tech.flashWriteWordNj);
     map.erase(tag);
+}
+
+void
+MapTable::recordUndo(Addr tag)
+{
+    if (undoLog.count(tag))
+        return; // first touch wins
+    auto it = map.find(tag);
+    if (it == map.end())
+        undoLog.emplace(tag, std::nullopt);
+    else
+        undoLog.emplace(tag, it->second);
+}
+
+void
+MapTable::beginTxn()
+{
+    txnActive = true;
+    undoLog.clear();
+}
+
+void
+MapTable::commitTxn()
+{
+    txnActive = false;
+    undoLog.clear();
+}
+
+void
+MapTable::rollbackTxn()
+{
+    for (const auto &[tag, prior] : undoLog) {
+        if (prior)
+            map[tag] = *prior;
+        else
+            map.erase(tag);
+    }
+    undoLog.clear();
+    txnActive = false;
 }
 
 bool

@@ -21,6 +21,8 @@
 namespace nvmr
 {
 
+class FaultInjector;
+
 /** NVM-resident block-address mapping table. */
 class MapTable
 {
@@ -56,6 +58,25 @@ class MapTable
     /** Unaccounted lookup for validation/tests. */
     std::optional<Addr> peek(Addr tag) const;
 
+    /** Crash injection for entry persists. An entry update is one
+     *  interruptible persist boundary: the hardware flips a per-entry
+     *  valid bit last, so a torn update leaves the old entry. */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
+    // ------------------------------------------------------------------
+    // Backup transaction (fault injection only)
+    // ------------------------------------------------------------------
+
+    /** Open a backup transaction: set()/erase() record the prior
+     *  entry in an undo log until commit. */
+    void beginTxn();
+
+    /** Discard the undo log; updates since beginTxn stand. */
+    void commitTxn();
+
+    /** Torn backup: undo every update made since beginTxn. */
+    void rollbackTxn();
+
   private:
     struct Entry
     {
@@ -66,8 +87,16 @@ class MapTable
     uint32_t cap;
     const TechParams &tech;
     EnergySink &sink;
+    FaultInjector *faults = nullptr;
     std::unordered_map<Addr, Entry> map;
     uint64_t tick = 0;
+
+    bool txnActive = false;
+    /** First-touch undo log: tag -> entry before the transaction
+     *  (nullopt = tag was absent). */
+    std::unordered_map<Addr, std::optional<Entry>> undoLog;
+
+    void recordUndo(Addr tag);
 };
 
 } // namespace nvmr

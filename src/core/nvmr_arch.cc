@@ -221,8 +221,9 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
                 ++archStats.renames;
                 writeBlockTo(fresh, line);
             } else {
-                chargeJournalWrite(cfg.cache.wordsPerBlock());
-                writeBlockTo(entry->newMap, line);
+                // In-place overwrite of the recovery image: journal
+                // it (home write deferred under fault injection).
+                journaledWriteBlock(entry->newMap, line);
             }
         } else {
             // No cached entry: consult the NVM map table directly
@@ -243,8 +244,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
             } else {
                 // Structures exhausted: fall back to the journalled
                 // double write, like Clank.
-                chargeJournalWrite(cfg.cache.wordsPerBlock());
-                writeBlockTo(current, line);
+                journaledWriteBlock(current, line);
             }
         }
         line.dirty = false;
@@ -267,10 +267,41 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
     });
 
     // 3. Registers + PC, 4. free-list pointers, 5. dominance reset.
+    // The free-list pointer pair is the last NVM persist, so its
+    // second word doubles as this backup's commit record.
     persistSnapshot(snap);
     freeList.persistPointers();
     resetDominanceState();
-    countBackup(reason);
+    commitBackup(reason);
+}
+
+void
+NvmrArch::attachFaults(FaultInjector *injector)
+{
+    DominanceArch::attachFaults(injector);
+    mapTable.attachFaults(injector);
+    freeList.attachFaults(injector);
+}
+
+void
+NvmrArch::shadowCapture()
+{
+    mapTable.beginTxn();
+    freeList.beginTxn();
+}
+
+void
+NvmrArch::shadowRollback()
+{
+    mapTable.rollbackTxn();
+    freeList.rollbackTxn();
+}
+
+void
+NvmrArch::onBackupCommitted()
+{
+    mapTable.commitTxn();
+    freeList.commitTxn();
 }
 
 NanoJoules

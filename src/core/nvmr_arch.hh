@@ -40,6 +40,9 @@ class NvmrArch : public DominanceArch
     CpuSnapshot performRestore() override;
     NanoJoules restoreCostNowNj() const override;
 
+    /** Forward the injector to the NVM-resident structures. */
+    void attachFaults(FaultInjector *injector) override;
+
     /** Base address of the compiler-reserved renaming region. */
     Addr reservedBase() const { return reserved; }
 
@@ -52,6 +55,12 @@ class NvmrArch : public DominanceArch
     void violatingWriteback(CacheLine &line) override;
     void normalWriteback(CacheLine &line) override;
     Addr inspectMapping(Addr addr) const override;
+
+    /** Backup-transaction hooks: shadow the map table and free list
+     *  so a torn backup rolls back to the previous recovery image. */
+    void shadowCapture() override;
+    void shadowRollback() override;
+    void onBackupCommitted() override;
 
   private:
     MapTable mapTable;

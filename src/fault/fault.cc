@@ -1,0 +1,204 @@
+#include "fault/fault.hh"
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+uint32_t
+popcount32(Word w)
+{
+    uint32_t n = 0;
+    while (w) {
+        w &= w - 1;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Crash points
+// ----------------------------------------------------------------------
+
+void
+FaultInjector::persistPoint()
+{
+    if (!cfg.enabled)
+        return;
+    ++st.persistPoints;
+    if (windowOpen) {
+        if (current.firstPersist == 0)
+            current.firstPersist = st.persistPoints;
+        current.lastPersist = st.persistPoints;
+    }
+    if (cfg.crashAtPersist != 0 &&
+        st.persistPoints == cfg.crashAtPersist) {
+        ++st.injectedCrashes;
+        closeWindow();
+        throw PowerFailure{};
+    }
+}
+
+void
+FaultInjector::cyclePoint(uint64_t total_cycles)
+{
+    if (!cfg.enabled || cfg.crashAtCycle == 0)
+        return;
+    if (total_cycles < cfg.crashAtCycle)
+        return;
+    cfg.crashAtCycle = 0; // fire once
+    ++st.injectedCrashes;
+    closeWindow();
+    throw PowerFailure{};
+}
+
+// ----------------------------------------------------------------------
+// Backup-window census
+// ----------------------------------------------------------------------
+
+void
+FaultInjector::noteBackupStart()
+{
+    if (!cfg.enabled)
+        return;
+    closeWindow(); // tolerate a window left open by a crash
+    windowOpen = true;
+    current = BackupWindow{};
+}
+
+void
+FaultInjector::noteBackupEnd()
+{
+    if (!cfg.enabled)
+        return;
+    closeWindow();
+}
+
+void
+FaultInjector::closeWindow()
+{
+    if (!windowOpen)
+        return;
+    windowOpen = false;
+    if (current.firstPersist != 0)
+        windows.push_back(current);
+}
+
+// ----------------------------------------------------------------------
+// Bit errors
+// ----------------------------------------------------------------------
+
+void
+FaultInjector::onWordWritten(Addr addr, uint64_t wear)
+{
+    if (!cfg.enabled || cfg.stuckBitRatePerWrite <= 0.0)
+        return;
+    if (wear <= cfg.stuckWearThreshold)
+        return;
+    double p = cfg.stuckBitRatePerWrite *
+               static_cast<double>(wear - cfg.stuckWearThreshold);
+    if (rng.uniform() >= p)
+        return;
+    uint32_t bit = static_cast<uint32_t>(rng.range(0, 31));
+    StuckCell &cell = stuck[addr];
+    if (cell.mask & (1u << bit))
+        return; // already stuck
+    cell.mask |= 1u << bit;
+    if (rng.uniform() < 0.5)
+        cell.values |= 1u << bit;
+    ++st.stuckBitsCreated;
+}
+
+void
+FaultInjector::forceStuckBit(Addr addr, uint32_t bit, bool stuck_high)
+{
+    panic_if(bit >= 32, "stuck bit index out of range: ", bit);
+    StuckCell &cell = stuck[addr];
+    cell.mask |= 1u << bit;
+    if (stuck_high)
+        cell.values |= 1u << bit;
+    else
+        cell.values &= ~(1u << bit);
+}
+
+Word
+FaultInjector::stuckErrorMask(Addr addr, Word stored) const
+{
+    auto it = stuck.find(addr);
+    if (it == stuck.end())
+        return 0;
+    return (stored ^ it->second.values) & it->second.mask;
+}
+
+Word
+FaultInjector::sampleTransientMask()
+{
+    if (cfg.transientBitErrorRate <= 0.0)
+        return 0;
+    if (rng.uniform() >= cfg.transientBitErrorRate)
+        return 0;
+    Word mask = 1u << rng.range(0, 31);
+    ++st.transientFlips;
+    if (rng.uniform() < cfg.doubleBitFraction) {
+        Word second;
+        do {
+            second = 1u << rng.range(0, 31);
+        } while (second == mask);
+        mask |= second;
+        ++st.transientFlips;
+    }
+    return mask;
+}
+
+FaultInjector::ReadOutcome
+FaultInjector::applyReadFaults(Addr addr, Word stored)
+{
+    // Error bits relative to the stored (intended) value. Stuck cells
+    // contribute on every attempt; transients re-sample per attempt.
+    Word persistent = stuckErrorMask(addr, stored);
+    ReadOutcome out;
+    for (;;) {
+        Word err = persistent | sampleTransientMask();
+        uint32_t nerr = popcount32(err);
+        if (!cfg.eccEnabled) {
+            out.value = stored ^ err;
+            return out;
+        }
+        if (nerr == 0) {
+            out.value = stored;
+            return out;
+        }
+        if (nerr == 1) {
+            // SECDED corrects a single bit error transparently.
+            ++st.eccCorrected;
+            out.value = stored;
+            return out;
+        }
+        // Detected (or aliased) multi-bit error: bounded retry.
+        if (out.retries >= cfg.maxReadRetries) {
+            ++st.eccUncorrectable;
+            out.value = stored ^ err;
+            return out;
+        }
+        ++out.retries;
+        ++st.eccRetries;
+    }
+}
+
+Word
+FaultInjector::inspectStored(Addr addr, Word stored) const
+{
+    Word err = stuckErrorMask(addr, stored);
+    if (err == 0)
+        return stored;
+    if (cfg.eccEnabled && popcount32(err) <= 1)
+        return stored; // correctable: reads return the intended value
+    return stored ^ err;
+}
+
+} // namespace nvmr

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "fault/fault.hh"
 
 namespace nvmr
 {
@@ -39,18 +40,44 @@ Nvm::readWord(Addr addr)
     ++reads;
     sink.addCycles(tech.flashReadCycles);
     sink.consume(tech.flashReadWordNj);
-    return peekWord(addr);
+    Word stored = peekWord(addr);
+    if (!faults || !faults->enabled() || !faults->bitErrorsPossible())
+        return stored;
+    FaultInjector::ReadOutcome out = faults->applyReadFaults(addr,
+                                                             stored);
+    // Each bounded retry is a full re-read: charged like the first.
+    for (uint32_t i = 0; i < out.retries; ++i) {
+        ++reads;
+        sink.addCycles(tech.flashReadCycles);
+        sink.consume(tech.flashReadWordNj);
+    }
+    return out.value;
 }
 
 void
 Nvm::writeWord(Addr addr, Word value)
 {
     uint32_t idx = wordIndex(addr);
+    // Persist boundary: an injected crash here means this word (and
+    // everything after it in a multi-word persist) never landed.
+    if (faults && faults->enabled())
+        faults->persistPoint();
     ++writes;
     ++wear[idx];
     sink.addCycles(tech.flashWriteCycles);
     sink.consume(tech.flashWriteWordNj);
     pokeWord(addr, value);
+    if (faults && faults->enabled())
+        faults->onWordWritten(addr, wear[idx]);
+}
+
+Word
+Nvm::inspectWord(Addr addr) const
+{
+    Word stored = peekWord(addr);
+    if (!faults || !faults->enabled())
+        return stored;
+    return faults->inspectStored(addr, stored);
 }
 
 Word

@@ -17,6 +17,8 @@
 namespace nvmr
 {
 
+class FaultInjector;
+
 /**
  * The on-board Flash. Reads and writes are word-granular and charge
  * energy to the attached sink; peek/poke bypass accounting for
@@ -34,6 +36,14 @@ class Nvm
 
     uint32_t sizeBytes() const { return size; }
 
+    /**
+     * Attach the crash/bit-error injector. Every accounted write
+     * becomes an interruptible persist boundary and every accounted
+     * read runs through the ECC pipeline. Null (the default) keeps
+     * the fault-free fast path.
+     */
+    void attachFaults(FaultInjector *injector) { faults = injector; }
+
     /** Accounted word read. */
     Word readWord(Addr addr);
 
@@ -42,6 +52,14 @@ class Nvm
 
     /** Unaccounted read (initialization / validation / tests). */
     Word peekWord(Addr addr) const;
+
+    /**
+     * Unaccounted read through the deterministic fault view: stuck
+     * bits and ECC correction applied, no transient sampling, no
+     * energy. Validation paths use this so that a correctable stuck
+     * bit is not flagged as divergence while an uncorrectable one is.
+     */
+    Word inspectWord(Addr addr) const;
 
     /** Unaccounted write (initialization / tests); no wear. */
     void pokeWord(Addr addr, Word value);
@@ -82,6 +100,7 @@ class Nvm
     uint32_t size;
     const TechParams &tech;
     EnergySink &sink;
+    FaultInjector *faults = nullptr;
     std::vector<uint8_t> mem;
     std::vector<uint32_t> wear; // per word
     uint64_t writes = 0;

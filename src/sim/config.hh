@@ -63,6 +63,14 @@ struct SystemConfig
      */
     bool modelBackupAtomicity = true;
 
+    /** Treat any power failure inside an atomic section -- a genuine
+     *  brown-out or an injected crash -- as fatal (the
+     *  pre-fault-model behavior, for A/B comparison of cost
+     *  estimates). Off by default: partial persists are modeled and
+     *  the recovery protocol falls back to the last complete
+     *  backup. */
+    bool strictAtomic = false;
+
     // Flash: 2 MB.
     uint32_t nvmBytes = 2u << 20;
 

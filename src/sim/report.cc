@@ -68,6 +68,15 @@ formatRunReport(const RunResult &r)
     }
     os << "  NVM: " << r.nvmReads << " reads, " << r.nvmWrites
        << " writes, max wear " << r.maxWear << "\n";
+    // Fault-injection counters only appear when the fault layer was
+    // active, so fault-free reports are byte-identical to before.
+    if (r.injectedCrashes || r.tornBackups || r.eccCorrected ||
+        r.eccUncorrectable)
+        os << "  faults: " << r.injectedCrashes
+           << " injected crashes, " << r.tornBackups
+           << " torn backups, ECC " << r.eccCorrected
+           << " corrected / " << r.eccUncorrectable
+           << " uncorrectable\n";
     os << "  cache: " << r.cacheHits << " hits, " << r.cacheMisses
        << " misses\n";
     os << "  energy: " << fmt("%.1f", r.totalEnergyNj / 1000.0)

@@ -135,9 +135,11 @@ Simulator::Simulator(const Program &prog, ArchKind arch_kind,
           config.vOff, config.capScale, config.capExponent),
       nvm(config.nvmBytes, config.tech, *this),
       arch(makeArch(arch_kind, config, nvm, *this)),
-      cpu(prog, *arch)
+      cpu(prog, *arch), injector(options.faults)
 {
     arch->attachHost(this);
+    nvm.attachFaults(&injector);
+    arch->attachFaults(&injector);
     chargesMtLeak = dynamic_cast<NvmrArch *>(arch.get()) != nullptr;
     cap.setVoltage(opts.initialVoltage > 0 ? opts.initialVoltage
                                            : cap.vOnVolts());
@@ -181,7 +183,11 @@ Simulator::checkBrownout()
 {
     if (!cap.dead())
         return;
-    panic_if(inAtomic,
+    // A brown-out inside an atomic section used to be fatal; with
+    // partial persists modeled it is just another torn backup the
+    // recovery protocol handles. --strict-atomic restores the old
+    // behavior for A/B comparison of cost-estimate regressions.
+    panic_if(inAtomic && cfg.strictAtomic,
              "brown-out inside an atomic operation: a cost estimate "
              "is too low");
     throw PowerFailure{};
@@ -212,6 +218,7 @@ Simulator::addCycles(Cycles n)
                 false);
     if (chargesMtLeak)
         applyEnergy(dn * cfg.tech.mtCacheLeakNjPerCycle, true);
+    injector.cyclePoint(totalCycles);
 }
 
 // ----------------------------------------------------------------------
@@ -225,12 +232,18 @@ Simulator::requestBackup(BackupReason reason)
     if (cap.usableNj() < cost)
         throw PowerFailure{}; // cannot afford the backup: die instead
 
+    injector.noteBackupStart();
     EMode saved = mode;
     mode = EMode::Backup;
     inAtomic = true;
+    arch->beginBackupTxn();
     arch->performBackup(cpu.snapshot(), reason);
     account.commitPending();
     inAtomic = false;
+
+    // The backup committed; replay any journaled home writes (crash-
+    // safe: a crash here re-replays the journal at restore).
+    arch->finishBackupTxn();
 
     // Post-backup work (NvMR reclamation) is crash-safe per entry and
     // therefore runs outside the atomic section.
@@ -238,6 +251,7 @@ Simulator::requestBackup(BackupReason reason)
     arch->postBackup(reason);
 
     mode = saved;
+    injector.noteBackupEnd();
     lastBackupActive = activeCycles;
     if (observer)
         observer->onBackup(reason, activeCycles);
@@ -298,8 +312,45 @@ Simulator::waitForRecharge(NanoJoules need_nj)
 }
 
 void
+Simulator::rebootFromReset()
+{
+    // No backup has ever committed (the initial backup itself was
+    // torn): there is nothing to restore. Boot the CPU from its
+    // reset state and take the initial backup again -- exactly what
+    // a real device does when it dies before its first checkpoint.
+    while (totalCycles <= opts.maxCycles) {
+        waitForRecharge(arch->backupCostNowNj() * 1.2 + 100.0);
+        if (totalCycles > opts.maxCycles)
+            return;
+        cpu.reset();
+        lastBackupActive = activeCycles;
+        resumeActive = activeCycles;
+        try {
+            requestBackup(BackupReason::Initial);
+            return;
+        } catch (PowerFailure &) {
+            panic_if(inAtomic && cfg.strictAtomic,
+                     "power failure inside an atomic operation "
+                     "(strict-atomic mode)");
+            mode = EMode::Execute;
+            inAtomic = false;
+            account.pendingToDead();
+            arch->onPowerFail();
+            if (observer)
+                observer->onPowerFailure(activeCycles);
+        }
+    }
+}
+
+void
 Simulator::handlePowerFailure()
 {
+    // Under --strict-atomic any power loss inside an atomic section
+    // -- a genuine brown-out (already fatal in checkBrownout) or an
+    // injected crash -- is the old fatal error.
+    panic_if(inAtomic && cfg.strictAtomic,
+             "power failure inside an atomic operation "
+             "(strict-atomic mode)");
     mode = EMode::Execute;
     inAtomic = false;
     account.pendingToDead();
@@ -307,20 +358,43 @@ Simulator::handlePowerFailure()
     if (observer)
         observer->onPowerFailure(activeCycles);
 
-    waitForRecharge(arch->restoreCostNowNj() * 1.2 + 100.0);
-    if (totalCycles > opts.maxCycles)
-        return; // never recharged; run() reports incompletion
+    if (!arch->hasPersistedState()) {
+        rebootFromReset();
+        return;
+    }
 
-    mode = EMode::Restore;
-    inAtomic = true;
-    CpuSnapshot snap = arch->performRestore();
-    inAtomic = false;
-    mode = EMode::Execute;
-    cpu.restore(snap);
-    lastBackupActive = activeCycles;
-    resumeActive = activeCycles;
-    if (observer)
-        observer->onRestore(activeCycles);
+    while (totalCycles <= opts.maxCycles) {
+        waitForRecharge(arch->restoreCostNowNj() * 1.2 + 100.0);
+        if (totalCycles > opts.maxCycles)
+            return; // never recharged; run() reports incompletion
+
+        mode = EMode::Restore;
+        inAtomic = true;
+        try {
+            CpuSnapshot snap = arch->performRestore();
+            inAtomic = false;
+            mode = EMode::Execute;
+            cpu.restore(snap);
+            lastBackupActive = activeCycles;
+            resumeActive = activeCycles;
+            if (observer)
+                observer->onRestore(activeCycles);
+            return;
+        } catch (PowerFailure &) {
+            // Power died again mid-restore (e.g. while replaying the
+            // backup journal). The journal replay is idempotent, so
+            // clean up and retry the whole restore.
+            panic_if(inAtomic && cfg.strictAtomic,
+                     "power failure inside an atomic operation "
+                     "(strict-atomic mode)");
+            mode = EMode::Execute;
+            inAtomic = false;
+            account.pendingToDead();
+            arch->onPowerFail();
+            if (observer)
+                observer->onPowerFailure(activeCycles);
+        }
+    }
 }
 
 void
@@ -371,8 +445,6 @@ Simulator::run()
             handlePowerFailure();
             if (totalCycles > opts.maxCycles)
                 break;
-            if (!arch->hasPersistedState())
-                panic("power failed before any backup persisted");
         }
     }
 
@@ -384,6 +456,7 @@ Simulator::run()
         validated = validateAgainstGolden(golden);
         checked = true;
     }
+    arch->syncFaultCounters(injector.stats());
     RunResult result = makeResult(completed, validated);
     result.validationChecked = checked;
     return result;
@@ -440,6 +513,12 @@ Simulator::makeResult(bool completed, bool validated) const
     r.maxWear = nvm.maxWear();
     r.cacheHits = arch->dataCache().hits();
     r.cacheMisses = arch->dataCache().misses();
+
+    r.tornBackups = static_cast<uint64_t>(s.tornBackups.value());
+    const FaultStats &fs = injector.stats();
+    r.injectedCrashes = fs.injectedCrashes;
+    r.eccCorrected = fs.eccCorrected;
+    r.eccUncorrectable = fs.eccUncorrectable;
     return r;
 }
 

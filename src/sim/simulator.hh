@@ -59,6 +59,11 @@ struct RunResult
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
 
+    uint64_t tornBackups = 0;      ///< backups cut mid-persist
+    uint64_t injectedCrashes = 0;  ///< fault-injector power cuts
+    uint64_t eccCorrected = 0;     ///< single-bit NVM errors fixed
+    uint64_t eccUncorrectable = 0; ///< corrupt NVM reads handed up
+
     NanoJoules energyOf(ECat cat) const
     {
         return energy[static_cast<size_t>(cat)];
@@ -118,6 +123,10 @@ struct RunOptions
      *  (devices wake as soon as the harvester charges past vOn, so
      *  they rarely start with a full capacitor). */
     double initialVoltage = 0;
+
+    /** Crash and bit-error injection (off by default; when off the
+     *  run is bit-identical to a fault-free build). */
+    FaultConfig faults;
 };
 
 /** Result of a continuously-powered (golden) execution. */
@@ -174,6 +183,18 @@ class Simulator : public EnergySink, public BackupHost
     /** Attach an event observer (optional; call before run()). */
     void attachObserver(SimObserver *obs) { observer = obs; }
 
+    /** The run's fault injector (crashtest reads the backup-window
+     *  census and fault counters out of it). */
+    const FaultInjector &faultInjector() const { return injector; }
+
+    /**
+     * Compare the architecture's final application image against a
+     * golden continuous run (through the deterministic fault view).
+     * Public so crash-point explorers can validate recovery even
+     * when the crashy run itself skipped validation.
+     */
+    bool validateAgainstGolden(const GoldenResult &golden) const;
+
   private:
     const Program &program;
     const SystemConfig &cfg;
@@ -186,6 +207,7 @@ class Simulator : public EnergySink, public BackupHost
     std::unique_ptr<IntermittentArch> arch;
     Cpu cpu;
     EnergyAccount account;
+    FaultInjector injector;
 
     EMode mode = EMode::Execute;
     bool inAtomic = false;
@@ -204,8 +226,8 @@ class Simulator : public EnergySink, public BackupHost
     void maybePolicyBackup();
     void hibernate();
     void handlePowerFailure();
+    void rebootFromReset();
     void waitForRecharge(NanoJoules need_nj);
-    bool validateAgainstGolden(const GoldenResult &golden) const;
 
     RunResult makeResult(bool completed, bool validated) const;
 };

@@ -131,10 +131,61 @@ TEST_P(RecoveryInvariant, HoldsUnderWatchdogToo)
     EXPECT_GT(checker.restoresChecked, 0u);
 }
 
+/**
+ * The invariant under injected crashes: cut power at every persist
+ * boundary of two early backups (so every phase of the backup
+ * protocol -- snapshot staging, journal copies, map-table and
+ * free-list updates, commit, post-commit replay and reclamation --
+ * gets torn at least once) and require that every crashed run still
+ * recovers, completes, and matches the golden continuous execution.
+ */
+TEST_P(RecoveryInvariant, SurvivesCrashAtEveryBackupPhase)
+{
+    Program prog = assemble("recov", kProgram);
+    SystemConfig cfg = SystemConfig::smallPlatform();
+    cfg.mapTableEntries = 64;
+
+    // Census pass: record each backup's persist-boundary window.
+    std::vector<FaultInjector::BackupWindow> windows;
+    {
+        RunOptions census;
+        census.faults.enabled = true;
+        census.validate = false;
+        WatchdogPolicy policy(300);
+        HarvestTrace trace(TraceKind::Wind, 999, 7.0);
+        Simulator sim(prog, GetParam(), cfg, policy, trace, census);
+        RunResult r = sim.run();
+        ASSERT_TRUE(r.completed);
+        windows = sim.faultInjector().backupWindows();
+    }
+    ASSERT_GE(windows.size(), 4u);
+
+    uint64_t torn_total = 0;
+    for (size_t i : {size_t(1), size_t(2)}) {
+        for (uint64_t p = windows[i].firstPersist;
+             p <= windows[i].lastPersist; ++p) {
+            RunOptions opts;
+            opts.faults.enabled = true;
+            opts.faults.crashAtPersist = p;
+            WatchdogPolicy policy(300);
+            HarvestTrace trace(TraceKind::Wind, 999, 7.0);
+            Simulator sim(prog, GetParam(), cfg, policy, trace,
+                          opts);
+            RunResult r = sim.run();
+            ASSERT_TRUE(r.completed) << "stuck at persist " << p;
+            ASSERT_TRUE(r.validated) << "diverged at persist " << p;
+            ASSERT_EQ(r.injectedCrashes, 1u) << "persist " << p;
+            torn_total += r.tornBackups;
+        }
+    }
+    EXPECT_GT(torn_total, 0u)
+        << "at least one crash point must tear a backup";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Archs, RecoveryInvariant,
     ::testing::Values(ArchKind::Clank, ArchKind::Nvmr,
-                      ArchKind::Hoop),
+                      ArchKind::Hoop, ArchKind::Task),
     [](const ::testing::TestParamInfo<ArchKind> &info) {
         return archKindName(info.param);
     });

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Systematic crash-point explorer: the crash-consistency analogue of
+ * nvmr_fuzz. For each workload x architecture it first runs a census
+ * pass that records the persist-boundary span of every backup, then
+ * re-runs the workload with a power failure injected at every persist
+ * boundary of the first N backups (and at sampled mid-execution
+ * cycles), requiring that every crashed run recovers, completes, and
+ * ends with an NVM state identical to the golden continuous run.
+ *
+ *     nvmr_crashtest                       # full sweep, 50 backups
+ *     nvmr_crashtest --smoke               # <30 s fixed-seed subset
+ *     nvmr_crashtest -w hist,qsort -a nvmr --max-backups 10
+ *     nvmr_crashtest --stride 4 --threads 8
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/xorshift.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+struct Options
+{
+    std::vector<std::string> workloads;
+    std::vector<ArchKind> archs = {ArchKind::Nvmr, ArchKind::Clank,
+                                   ArchKind::Hoop, ArchKind::Task};
+    uint64_t maxBackups = 50;
+    uint64_t stride = 1;       ///< take every Nth persist boundary
+    uint64_t cycleSamples = 8; ///< random mid-execution crash cycles
+    uint64_t seed = 1;
+    unsigned threads = 0; ///< 0 = hardware concurrency
+    bool verbose = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "nvmr_crashtest: systematic crash-consistency explorer\n"
+        "\n"
+        "  -w, --workloads A,B   comma list (default: all workloads)\n"
+        "  -a, --archs A,B       nvmr | clank | hoop | task | \n"
+        "                        clank_original (default: nvmr,clank,"
+        "hoop,task)\n"
+        "  --max-backups N       explore the first N backups "
+        "(default 50)\n"
+        "  --stride N            crash at every Nth persist boundary "
+        "(default 1)\n"
+        "  --cycle-samples N     extra random crash cycles "
+        "(default 8)\n"
+        "  --seed N              seed for the cycle sampling "
+        "(default 1)\n"
+        "  --threads N           worker threads (default: all cores)\n"
+        "  --smoke               fixed small subset for CI (<30 s)\n"
+        "  -v, --verbose         per-combination progress\n");
+}
+
+ArchKind
+parseArch(const std::string &name)
+{
+    if (name == "nvmr")
+        return ArchKind::Nvmr;
+    if (name == "clank")
+        return ArchKind::Clank;
+    if (name == "clank_original")
+        return ArchKind::ClankOriginal;
+    if (name == "task")
+        return ArchKind::Task;
+    if (name == "hoop")
+        return ArchKind::Hoop;
+    if (name == "ideal")
+        fatal("the ideal architecture relies on the perfect-JIT "
+              "assumption that power never fails unexpectedly; "
+              "injected crashes break it by construction");
+    fatal("unknown architecture '", name, "'");
+}
+
+std::vector<std::string>
+splitList(const char *arg)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = arg; *p; ++p) {
+        if (*p == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += *p;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** The platform every crash run uses: the default system with small
+ *  NvMR structures (more metadata traffic per backup, so the crash
+ *  points cover map-table and free-list updates) and a watchdog
+ *  policy so backups come at a steady cadence. */
+SystemConfig
+crashConfig()
+{
+    SystemConfig cfg;
+    cfg.mapTableEntries = 64;
+    cfg.mtCacheEntries = 16;
+    cfg.mtCacheWays = 4;
+    cfg.reclaimEnabled = true;
+    return cfg;
+}
+
+RunResult
+runOnce(const Program &prog, ArchKind arch, const FaultConfig &faults,
+        const Simulator **sim_out, const GoldenResult &golden,
+        bool *matched)
+{
+    SystemConfig cfg = crashConfig();
+    PolicySpec spec;
+    spec.kind = PolicyKind::Watchdog;
+    spec.watchdogPeriod = 4000;
+    auto policy = makePolicy(spec);
+    HarvestTrace trace(TraceKind::Rf, 7, 8.0);
+    RunOptions opts;
+    opts.validate = false;
+    opts.faults = faults;
+    Simulator sim(prog, arch, cfg, *policy, trace, opts);
+    (void)sim_out;
+    RunResult r = sim.run();
+    *matched = r.completed && sim.validateAgainstGolden(golden);
+    return r;
+}
+
+/** One crash case: either a persist boundary or a raw cycle. */
+struct CrashPoint
+{
+    uint64_t persist = 0; ///< 1-based persist boundary, 0 = unused
+    uint64_t cycle = 0;   ///< absolute cycle, 0 = unused
+};
+
+struct ComboReport
+{
+    uint64_t points = 0;
+    uint64_t crashed = 0; ///< runs where the armed crash actually fired
+    uint64_t divergent = 0;
+    uint64_t stuck = 0;
+};
+
+bool
+exploreCombo(const std::string &workload, ArchKind arch,
+             const Options &opt, ComboReport &report)
+{
+    Program prog = assembleWorkload(workload);
+    GoldenResult golden = runContinuous(prog);
+    fatal_if(!golden.halted, "golden run of ", workload,
+             " did not halt");
+
+    // Census pass: fault layer on, nothing armed. Records the
+    // persist-boundary window of every backup.
+    FaultConfig census;
+    census.enabled = true;
+    bool census_ok = false;
+    std::vector<FaultInjector::BackupWindow> windows;
+    uint64_t census_cycles = 0;
+    {
+        SystemConfig cfg = crashConfig();
+        PolicySpec spec;
+        spec.kind = PolicyKind::Watchdog;
+        spec.watchdogPeriod = 4000;
+        auto policy = makePolicy(spec);
+        HarvestTrace trace(TraceKind::Rf, 7, 8.0);
+        RunOptions opts;
+        opts.validate = false;
+        opts.faults = census;
+        Simulator sim(prog, arch, cfg, *policy, trace, opts);
+        RunResult r = sim.run();
+        census_ok = r.completed &&
+                    sim.validateAgainstGolden(golden);
+        windows = sim.faultInjector().backupWindows();
+        census_cycles = r.totalCycles;
+    }
+    if (!census_ok) {
+        std::printf("FAILURE: %s/%s census run did not complete "
+                    "cleanly\n",
+                    workload.c_str(), archKindName(arch));
+        return false;
+    }
+
+    // Crash-point list: every (strided) persist boundary of the
+    // first maxBackups backups, plus sampled raw cycles.
+    std::vector<CrashPoint> points;
+    uint64_t nwin = std::min<uint64_t>(windows.size(), opt.maxBackups);
+    for (uint64_t i = 0; i < nwin; ++i) {
+        for (uint64_t p = windows[i].firstPersist;
+             p <= windows[i].lastPersist; p += opt.stride)
+            points.push_back(CrashPoint{p, 0});
+    }
+    XorShift rng(opt.seed + static_cast<uint64_t>(arch) * 131);
+    for (uint64_t i = 0; i < opt.cycleSamples; ++i) {
+        uint64_t c = 1 + rng.next() % (census_cycles + 1);
+        points.push_back(CrashPoint{0, c});
+    }
+
+    report.points = points.size();
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> crashed{0};
+    std::atomic<uint64_t> divergent{0};
+    std::atomic<uint64_t> stuck{0};
+
+    unsigned nthreads = opt.threads
+                            ? opt.threads
+                            : std::max(1u,
+                                       std::thread::hardware_concurrency());
+    auto worker = [&]() {
+        for (;;) {
+            uint64_t idx = next.fetch_add(1);
+            if (idx >= points.size())
+                return;
+            const CrashPoint &cp = points[idx];
+            FaultConfig faults;
+            faults.enabled = true;
+            faults.crashAtPersist = cp.persist;
+            faults.crashAtCycle = cp.cycle;
+            bool matched = false;
+            RunResult r = runOnce(prog, arch, faults, nullptr, golden,
+                                  &matched);
+            if (r.injectedCrashes > 0)
+                ++crashed;
+            if (!r.completed) {
+                ++stuck;
+                std::printf("FAILURE: %s/%s stuck with crash at "
+                            "%s %llu\n",
+                            workload.c_str(), archKindName(arch),
+                            cp.persist ? "persist" : "cycle",
+                            static_cast<unsigned long long>(
+                                cp.persist ? cp.persist : cp.cycle));
+            } else if (!matched) {
+                ++divergent;
+                std::printf("FAILURE: %s/%s diverged with crash at "
+                            "%s %llu\n",
+                            workload.c_str(), archKindName(arch),
+                            cp.persist ? "persist" : "cycle",
+                            static_cast<unsigned long long>(
+                                cp.persist ? cp.persist : cp.cycle));
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    report.crashed = crashed.load();
+    report.divergent = divergent.load();
+    report.stuck = stuck.load();
+    return report.divergent == 0 && report.stuck == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    // Line-buffer even when piped so long sweeps show live progress.
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    Options opt;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for ", argv[i]);
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "-w" || a == "--workloads") {
+            opt.workloads = splitList(need(i));
+        } else if (a == "-a" || a == "--archs") {
+            opt.archs.clear();
+            for (const std::string &n : splitList(need(i)))
+                opt.archs.push_back(parseArch(n));
+        } else if (a == "--max-backups") {
+            opt.maxBackups = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--stride") {
+            opt.stride = std::max<uint64_t>(
+                1, std::strtoull(need(i), nullptr, 10));
+        } else if (a == "--cycle-samples") {
+            opt.cycleSamples = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--seed") {
+            opt.seed = std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--threads") {
+            opt.threads = static_cast<unsigned>(
+                std::strtoul(need(i), nullptr, 10));
+        } else if (a == "--smoke") {
+            opt.workloads = {"hist", "qsort"};
+            opt.maxBackups = 5;
+            opt.stride = 9;
+            opt.cycleSamples = 2;
+            opt.seed = 1;
+        } else if (a == "-v" || a == "--verbose") {
+            opt.verbose = true;
+        } else if (a == "-h" || a == "--help") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '", a, "'");
+        }
+    }
+
+    if (opt.workloads.empty())
+        for (const WorkloadInfo &w : allWorkloads())
+            opt.workloads.push_back(w.name);
+
+    uint64_t total_points = 0;
+    uint64_t total_crashed = 0;
+    bool ok = true;
+    for (const std::string &w : opt.workloads) {
+        for (ArchKind arch : opt.archs) {
+            ComboReport report;
+            bool combo_ok = exploreCombo(w, arch, opt, report);
+            total_points += report.points;
+            total_crashed += report.crashed;
+            if (opt.verbose || !combo_ok)
+                std::printf(
+                    "%-14s %-14s %6llu points, %6llu crashed, "
+                    "%llu divergent, %llu stuck%s\n",
+                    w.c_str(), archKindName(arch),
+                    static_cast<unsigned long long>(report.points),
+                    static_cast<unsigned long long>(report.crashed),
+                    static_cast<unsigned long long>(report.divergent),
+                    static_cast<unsigned long long>(report.stuck),
+                    combo_ok ? "" : "  <-- FAIL");
+            ok = ok && combo_ok;
+        }
+    }
+
+    std::printf("crashtest %s: %llu crash points (%llu fired), "
+                "%llu workloads x %llu archs\n",
+                ok ? "passed" : "FAILED",
+                static_cast<unsigned long long>(total_points),
+                static_cast<unsigned long long>(total_crashed),
+                static_cast<unsigned long long>(opt.workloads.size()),
+                static_cast<unsigned long long>(opt.archs.size()));
+    return ok ? 0 : 1;
+}

@@ -9,12 +9,16 @@
  *     nvmr_fuzz                 # 100 iterations from seed 1
  *     nvmr_fuzz 2000            # more iterations
  *     nvmr_fuzz 500 12345       # iterations + base seed
+ *     nvmr_fuzz --faults 500    # also randomize crash points and
+ *                               # correctable NVM bit-error rates
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/log.hh"
+#include "common/xorshift.hh"
 #include "isa/assembler.hh"
 #include "sim/randprog.hh"
 #include "sim/simulator.hh"
@@ -32,8 +36,35 @@ struct FuzzCase
     bool byteLbf = false;
 };
 
+/**
+ * Derive a random-but-reproducible fault load for one (seed, case)
+ * pair: a crash armed at a random persist boundary, sometimes a
+ * second one at a raw cycle, and sometimes a transient bit-error
+ * rate. Only single-bit transients are enabled so SECDED always
+ * corrects them: any divergence is still a simulator bug, never the
+ * fault manifesting.
+ */
+FaultConfig
+randomFaults(uint64_t seed, uint64_t case_idx)
+{
+    XorShift rng(seed * 1315423911ull + case_idx + 1);
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = seed;
+    fc.crashAtPersist = 1 + rng.next() % 1500;
+    if (rng.next() % 4 == 0)
+        fc.crashAtCycle = 1 + rng.next() % 200000;
+    if (rng.next() % 2 == 0) {
+        fc.transientBitErrorRate = 1e-5 * (1 + rng.next() % 20);
+        fc.doubleBitFraction = 0;
+        fc.maxReadRetries = 4;
+    }
+    return fc;
+}
+
 bool
-runCase(const Program &prog, uint64_t seed, const FuzzCase &c)
+runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
+        const FaultConfig *faults)
 {
     // Small capacitors need the co-sized platform (atomic backups
     // must fit one charge; see SystemConfig::smallPlatform).
@@ -55,7 +86,10 @@ runCase(const Program &prog, uint64_t seed, const FuzzCase &c)
 
     auto policy = makePolicy(spec);
     HarvestTrace trace(TraceKind::Rf, 40000 + seed, 7.0);
-    Simulator sim(prog, c.arch, cfg, *policy, trace);
+    RunOptions opts;
+    if (faults)
+        opts.faults = *faults;
+    Simulator sim(prog, c.arch, cfg, *policy, trace, opts);
     RunResult r = sim.run();
     if (r.completed && r.validated)
         return true;
@@ -67,6 +101,14 @@ runCase(const Program &prog, uint64_t seed, const FuzzCase &c)
         policyKindName(c.policy), c.farads,
         r.completed ? "final state diverged" : "did not complete",
         static_cast<unsigned long long>(seed));
+    if (faults)
+        std::printf("repro faults: crashAtPersist=%llu "
+                    "crashAtCycle=%llu transientBitErrorRate=%g\n",
+                    static_cast<unsigned long long>(
+                        faults->crashAtPersist),
+                    static_cast<unsigned long long>(
+                        faults->crashAtCycle),
+                    faults->transientBitErrorRate);
     return false;
 }
 
@@ -76,10 +118,17 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    uint64_t iterations = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                                   : 100;
-    uint64_t base_seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                  : 1;
+    bool faults_mode = false;
+    uint64_t positional[2] = {100, 1};
+    int npos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--faults") == 0)
+            faults_mode = true;
+        else if (npos < 2)
+            positional[npos++] = std::strtoull(argv[i], nullptr, 10);
+    }
+    uint64_t iterations = positional[0];
+    uint64_t base_seed = positional[1];
 
     const FuzzCase cases[] = {
         {ArchKind::Clank, PolicyKind::Jit, 0.1},
@@ -101,8 +150,17 @@ main(int argc, char **argv)
         uint64_t seed = base_seed + i;
         Program prog = assemble("fuzz" + std::to_string(seed),
                                 makeRandomProgram(seed));
+        uint64_t case_idx = 0;
         for (const FuzzCase &c : cases) {
-            if (!runCase(prog, seed, c))
+            ++case_idx;
+            // Ideal relies on the perfect-JIT assumption that power
+            // never fails unexpectedly; injected crashes break it.
+            if (faults_mode && c.arch == ArchKind::Ideal)
+                continue;
+            FaultConfig fc;
+            if (faults_mode)
+                fc = randomFaults(seed, case_idx);
+            if (!runCase(prog, seed, c, faults_mode ? &fc : nullptr))
                 return 1;
             ++runs;
         }

@@ -51,6 +51,14 @@ usage()
         "  --mt-cache N          NvMR map table cache entries "
         "(default 512)\n"
         "  --reclaim             enable map-table reclamation\n"
+        "  --strict-atomic       treat a brown-out inside an atomic\n"
+        "                        backup as fatal (pre-fault-model "
+        "behavior)\n"
+        "  --crash-at-persist N  inject a power failure at the Nth\n"
+        "                        NVM persist (1-based)\n"
+        "  --crash-at-cycle N    inject a power failure at cycle N\n"
+        "  --ber RATE            transient NVM bit-error rate per "
+        "word read\n"
         "  --no-validate         skip the continuous-run comparison\n"
         "  --events              print intermittence events live\n");
 }
@@ -152,6 +160,20 @@ main(int argc, char **argv)
                                                    10));
         } else if (a == "--reclaim") {
             cfg.reclaimEnabled = true;
+        } else if (a == "--strict-atomic") {
+            cfg.strictAtomic = true;
+        } else if (a == "--crash-at-persist") {
+            opts.faults.enabled = true;
+            opts.faults.crashAtPersist =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--crash-at-cycle") {
+            opts.faults.enabled = true;
+            opts.faults.crashAtCycle =
+                std::strtoull(need(i), nullptr, 10);
+        } else if (a == "--ber") {
+            opts.faults.enabled = true;
+            opts.faults.transientBitErrorRate =
+                std::strtod(need(i), nullptr);
         } else if (a == "--model") {
             model_path = need(i);
         } else if (a == "--no-validate") {
