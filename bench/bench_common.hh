@@ -1,18 +1,23 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction harnesses: the
- * standard trace set, configuration banners and percent formatting.
+ * standard trace set, configuration banners, percent formatting and
+ * the machine-readable BENCH_*.json export path.
  */
 
 #ifndef NVMR_BENCH_BENCH_COMMON_HH
 #define NVMR_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/log.hh"
 #include "common/table.hh"
+#include "obs/json.hh"
 #include "sim/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -58,6 +63,116 @@ requireClean(const Aggregate &agg, const std::string &what)
     fatal_if(!agg.allValidated, what,
              ": a run failed final-state validation");
 }
+
+/**
+ * Machine-readable export for the figure/ablation harnesses: named
+ * metrics collected while the tables print, written as one JSON
+ * document (schema "nvmr-bench-v1", the BENCH_*.json record format).
+ *
+ * Construct it from main's argv; it activates when `--stats-json
+ * FILE` is present (or when a default path is supplied) and is
+ * otherwise free. Every metric carries a unit and, optionally, the
+ * paper's reference value so downstream tooling can diff the
+ * reproduction against the publication mechanically.
+ */
+class BenchRecorder
+{
+  public:
+    static constexpr const char *kSchema = "nvmr-bench-v1";
+
+    /**
+     * @param bench_name Record name, e.g. "fig10_energy_saved".
+     * @param argc,argv The harness's command line (scanned for
+     *        `--stats-json FILE`).
+     * @param default_path When non-empty, write here even without
+     *        the flag (the committed BENCH_nvmr_core.json path).
+     */
+    BenchRecorder(std::string bench_name, int argc, char **argv,
+                  std::string default_path = "")
+        : bench(std::move(bench_name)), path(std::move(default_path)),
+          start(std::chrono::steady_clock::now())
+    {
+        for (int i = 1; i + 1 < argc; ++i)
+            if (std::strcmp(argv[i], "--stats-json") == 0)
+                path = argv[i + 1];
+    }
+
+    bool active() const { return !path.empty(); }
+
+    /** Record one metric. */
+    void
+    add(const std::string &name, double value,
+        const std::string &unit = "", double paper_value = 0,
+        bool has_paper_value = false)
+    {
+        if (active())
+            metrics.push_back({name, unit, value, paper_value,
+                               has_paper_value});
+    }
+
+    /** Record one metric with the paper's reference value. */
+    void
+    addVsPaper(const std::string &name, double value,
+               const std::string &unit, double paper_value)
+    {
+        add(name, value, unit, paper_value, true);
+    }
+
+    /** Render and write the record; no-op when inactive. */
+    void
+    write()
+    {
+        if (!active())
+            return;
+        using namespace std::chrono;
+        double wall_s =
+            duration_cast<duration<double>>(steady_clock::now() -
+                                            start)
+                .count();
+        JsonWriter w;
+        w.beginObject();
+        w.kv("schema", kSchema);
+        w.kv("bench", bench);
+        w.kv("timestamp_unix",
+             static_cast<int64_t>(
+                 duration_cast<seconds>(
+                     system_clock::now().time_since_epoch())
+                     .count()));
+        w.kv("wall_seconds", wall_s);
+        w.key("metrics");
+        w.beginArray();
+        for (const Metric &m : metrics) {
+            w.beginObject();
+            w.kv("name", m.name);
+            w.kv("value", m.value);
+            if (!m.unit.empty())
+                w.kv("unit", m.unit);
+            if (m.hasPaperValue)
+                w.kv("paper_value", m.paperValue);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::ofstream os(path);
+        fatal_if(!os, "cannot write ", path);
+        os << w.str() << "\n";
+    }
+
+  private:
+    struct Metric
+    {
+        std::string name;
+        std::string unit;
+        double value;
+        double paperValue;
+        bool hasPaperValue;
+    };
+
+    std::string bench;
+    std::string path;
+    std::chrono::steady_clock::time_point start;
+    std::vector<Metric> metrics;
+};
 
 } // namespace nvmr
 

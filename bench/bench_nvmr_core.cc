@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Core performance/regression record: a fixed, fast subset of the
+ * paper's headline comparison (NvMR vs Clank under JIT) plus
+ * simulator throughput, exported as BENCH_nvmr_core.json through the
+ * BenchRecorder. This is the record CI and the repo commit carry so
+ * the bench trajectory is never empty; the full-figure harnesses
+ * remain the source of truth for the paper tables.
+ *
+ *     bench_nvmr_core                      # writes BENCH_nvmr_core.json
+ *     bench_nvmr_core --stats-json out.json
+ */
+
+#include "bench_common.hh"
+
+using namespace nvmr;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchRecorder rec("nvmr_core", argc, argv,
+                      "BENCH_nvmr_core.json");
+
+    SystemConfig cfg;
+    PolicySpec jit;
+    auto traces = HarvestTrace::standardSet(2);
+    const std::vector<std::string> workloads = {"hist", "qsort"};
+
+    double sum_saved = 0, sum_backup_ratio = 0, sum_wear_red = 0;
+    double instructions = 0;
+    for (const std::string &name : workloads) {
+        Program prog = assembleWorkload(name);
+        Aggregate clank =
+            runAveraged(prog, ArchKind::Clank, cfg, jit, traces);
+        Aggregate nvmr =
+            runAveraged(prog, ArchKind::Nvmr, cfg, jit, traces);
+        requireClean(clank, name);
+        requireClean(nvmr, name);
+        sum_saved += percentSaved(clank, nvmr);
+        sum_backup_ratio +=
+            nvmr.backups > 0 ? clank.backups / nvmr.backups : 0;
+        sum_wear_red +=
+            clank.maxWear > 0
+                ? (1.0 - nvmr.maxWear / clank.maxWear) * 100.0
+                : 0;
+        instructions += clank.instructions + nvmr.instructions;
+    }
+    double n = static_cast<double>(workloads.size());
+
+    rec.add("energy_saved_vs_clank_pct", sum_saved / n, "%");
+    rec.add("backup_reduction", sum_backup_ratio / n, "x");
+    rec.add("max_wear_reduction_pct", sum_wear_red / n, "%");
+    rec.add("simulated_instructions",
+            instructions * static_cast<double>(traces.size()));
+    rec.write();
+
+    std::printf("nvmr core record: %.1f%% energy saved, %.1fx fewer "
+                "backups, %.1f%% lower max wear (hist+qsort, %zu "
+                "traces)\n",
+                sum_saved / n, sum_backup_ratio / n, sum_wear_red / n,
+                traces.size());
+    return 0;
+}

@@ -16,9 +16,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchRecorder rec("fig10_energy_saved", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();
     printBanner("Figure 10: % energy saved, NvMR vs Clank, by backup "
@@ -96,5 +97,14 @@ main()
     std::printf("\npaper: jit ~20%% avg, spendthrift ~15.6%%, "
                 "watchdog ~9%%; ordering jit > spendthrift > "
                 "watchdog\n");
+
+    rec.addVsPaper("energy_saved_jit_pct", sums[0] / n, "%", 20.0);
+    rec.addVsPaper("energy_saved_spendthrift_pct", sums[1] / n, "%",
+                   15.6);
+    rec.addVsPaper("energy_saved_watchdog_pct", sums[2] / n, "%",
+                   9.0);
+    rec.add("spendthrift_accuracy_clank_pct", acc_clank * 100, "%");
+    rec.add("spendthrift_accuracy_nvmr_pct", acc_nvmr * 100, "%");
+    rec.write();
     return 0;
 }

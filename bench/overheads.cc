@@ -12,9 +12,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchRecorder rec("overheads", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();
     printBanner("Section 6.5: NvMR overheads (JIT)", cfg,
@@ -106,5 +107,14 @@ main()
                 footprint, cfg.nvmBytes >> 20);
     std::printf("paper: 185x fewer backups, 80.8%% lower max wear, "
                 "~3%% rename+reclaim energy\n");
+
+    rec.addVsPaper("backup_reduction", sum_backup_ratio / n, "x",
+                   185.0);
+    rec.addVsPaper("max_wear_reduction_pct", sum_wear_red / n, "%",
+                   80.8);
+    rec.addVsPaper("rename_reclaim_share_pct", sum_ovh / n, "%", 3.0);
+    rec.addVsPaper("renaming_region_footprint_pct", footprint, "%",
+                   6.0);
+    rec.write();
     return 0;
 }

@@ -13,9 +13,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    BenchRecorder rec("table3_violations", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();
     printBanner("Table 3: idempotency violations per benchmark "
@@ -37,9 +38,13 @@ main()
                       TablePrinter::num(
                           agg.violations / agg.instructions * 1000.0,
                           2)});
+        rec.add("violations_per_kinst_" + name,
+                agg.violations / agg.instructions * 1000.0,
+                "1/kinst");
     }
     table.print();
     std::printf("\npaper shape: violation counts span orders of "
                 "magnitude across benchmarks\n");
+    rec.write();
     return 0;
 }

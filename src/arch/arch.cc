@@ -71,9 +71,15 @@ IntermittentArch::initialize(const Program &prog)
 CacheLine &
 IntermittentArch::handleMiss(Addr block_addr)
 {
+    if (tracer)
+        tracer->record(EventKind::CacheMiss, block_addr);
     CacheLine &victim = cache.victim(block_addr);
-    if (victim.valid)
+    if (victim.valid) {
+        if (tracer)
+            tracer->record(EventKind::CacheEvict, victim.blockAddr,
+                           victim.compositeReadDominated() ? 1 : 0);
         evictLine(victim);
+    }
     // evictLine must leave the line clean; drop it.
     panic_if(victim.valid && victim.dirty,
              "evictLine left a dirty line behind");
@@ -90,8 +96,11 @@ IntermittentArch::access(Addr addr, uint32_t nbytes, bool is_store)
 {
     Addr block = cache.blockAlign(addr);
     CacheLine *line = cache.lookup(block);
-    if (!line)
+    if (!line) {
         line = &handleMiss(block);
+    } else if (tracer) {
+        tracer->record(EventKind::CacheHit, block);
+    }
     onAccess(*line, addr - block, nbytes, is_store);
     return *line;
 }
@@ -322,6 +331,9 @@ IntermittentArch::onPowerFail()
         shadowRollback();
         redoJournal.clear();
         ++archStats.tornBackups;
+        if (tracer)
+            tracer->record(EventKind::BackupRollback, 0,
+                           committedSeq + 1);
     }
     // A committed txn keeps its journal: performRestore replays it.
     txnOpen = false;
@@ -424,12 +436,17 @@ void
 DominanceArch::evictLine(CacheLine &line)
 {
     bool read_dom = line.compositeReadDominated();
-    if (read_dom)
+    if (read_dom) {
         gbf.insert(line.blockAddr);
+        if (tracer)
+            tracer->record(EventKind::GbfInsert, line.blockAddr);
+    }
     if (!line.dirty)
         return;
     if (read_dom) {
         ++archStats.violations;
+        if (tracer)
+            tracer->record(EventKind::Violation, line.blockAddr);
         violatingWriteback(line);
     } else {
         normalWriteback(line);
@@ -448,6 +465,8 @@ DominanceArch::resetDominanceState()
 {
     gbf.reset();
     cache.resetLbf();
+    if (tracer)
+        tracer->record(EventKind::DominanceReset);
 }
 
 void

@@ -27,6 +27,7 @@
 #include "mem/cache.hh"
 #include "mem/nvm.hh"
 #include "mem/port.hh"
+#include "obs/trace.hh"
 #include "power/energy.hh"
 #include "sim/config.hh"
 
@@ -111,6 +112,14 @@ class IntermittentArch : public DataPort
     {
         faults = injector;
     }
+
+    /** Attach an event sink (null keeps the trace-free fast path).
+     *  NvMR forwards it to its map-table cache. */
+    virtual void attachTrace(TraceSink *sink_) { tracer = sink_; }
+
+    /** Register an externally-owned stat (the simulator adds its
+     *  interval / wear histograms to the same registry). */
+    void addStat(StatBase *stat) { statRegistry.add(stat); }
 
     /**
      * Load the program's data image into NVM and lay out the
@@ -214,6 +223,7 @@ class IntermittentArch : public DataPort
     DataCache cache;
     BackupHost *host = nullptr;
     FaultInjector *faults = nullptr;
+    TraceSink *tracer = nullptr;
 
     /**
      * One half of the double-buffered NVM backup region. The last

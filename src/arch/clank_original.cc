@@ -22,6 +22,8 @@ ClankOriginalArch::trackAccess(Addr word_addr, bool is_store)
         // up first; the backup clears both buffers and starts a new
         // section in which this store is the first access.
         ++archStats.violations;
+        if (tracer)
+            tracer->record(EventKind::Violation, word_addr);
         panic_if(!host, "ClankOriginalArch needs a BackupHost");
         host->requestBackup(BackupReason::IdempotencyViolation);
         sink.consume(kBufferTouchNj);
@@ -84,6 +86,8 @@ ClankOriginalArch::storeByte(Addr addr, uint8_t value)
     sink.consume(kBufferTouchNj);
     if (readFirst.count(word)) {
         ++archStats.violations;
+        if (tracer)
+            tracer->record(EventKind::Violation, word);
         panic_if(!host, "ClankOriginalArch needs a BackupHost");
         host->requestBackup(BackupReason::IdempotencyViolation);
         sink.consume(kBufferTouchNj);

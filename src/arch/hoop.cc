@@ -84,6 +84,8 @@ HoopArch::evictLine(CacheLine &line)
         }
         sink.consume(kOopBufferTouchNj);
         oopBuffer.emplace_back(addr, line.data[w]);
+        if (tracer)
+            tracer->record(EventKind::OopAppend, addr);
     }
     line.dirty = false;
     line.dirtyWordMask = 0;
@@ -125,6 +127,9 @@ HoopArch::garbageCollect()
     sink.addCycles(regionFill * cfg.tech.flashReadCycles);
     sink.consume(static_cast<double>(regionFill) *
                  cfg.tech.flashReadWordNj);
+    if (tracer)
+        tracer->record(EventKind::OopGc, committedLog.size(),
+                       regionFill);
     for (const auto &[addr, val] : committedLog)
         nvm.writeWord(addr, val);
     committedLog.clear();

@@ -15,6 +15,8 @@ void
 TaskArch::taskBoundary()
 {
     ++boundaries;
+    if (tracer)
+        tracer->record(EventKind::TaskBoundary, boundaries);
     panic_if(!host, "TaskArch needs an attached BackupHost");
     host->requestBackup(BackupReason::TaskBoundary);
 }

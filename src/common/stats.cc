@@ -6,7 +6,7 @@ namespace nvmr
 {
 
 void
-StatGroup::add(Scalar *stat)
+StatGroup::add(StatBase *stat)
 {
     panic_if(!stat, "null stat registered");
     auto [it, inserted] = byName.emplace(stat->name(), stat);
@@ -14,11 +14,53 @@ StatGroup::add(Scalar *stat)
     order.push_back(stat);
 }
 
-const Scalar *
-StatGroup::find(const std::string &stat_name) const
+bool
+StatGroup::has(const std::string &stat_name) const
+{
+    return byName.find(stat_name) != byName.end();
+}
+
+const StatBase *
+StatGroup::findStat(const std::string &stat_name) const
 {
     auto it = byName.find(stat_name);
     return it == byName.end() ? nullptr : it->second;
+}
+
+const Scalar *
+StatGroup::find(const std::string &stat_name) const
+{
+    const StatBase *s = findStat(stat_name);
+    if (!s || s->kind() != StatKind::Scalar)
+        return nullptr;
+    return static_cast<const Scalar *>(s);
+}
+
+const Histogram *
+StatGroup::findHistogram(const std::string &stat_name) const
+{
+    const StatBase *s = findStat(stat_name);
+    if (!s || s->kind() != StatKind::Histogram)
+        return nullptr;
+    return static_cast<const Histogram *>(s);
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &stat_name) const
+{
+    const StatBase *s = findStat(stat_name);
+    if (!s || s->kind() != StatKind::Distribution)
+        return nullptr;
+    return static_cast<const Distribution *>(s);
+}
+
+double
+StatGroup::value(const std::string &stat_name) const
+{
+    const Scalar *s = find(stat_name);
+    panic_if(!s, "no scalar stat named '", stat_name,
+             "' is registered");
+    return s->value();
 }
 
 double
@@ -31,7 +73,7 @@ StatGroup::get(const std::string &stat_name) const
 void
 StatGroup::resetAll()
 {
-    for (Scalar *s : order)
+    for (StatBase *s : order)
         s->reset();
 }
 

@@ -36,9 +36,13 @@ MapTableCache::lookup(Addr tag)
         MtcEntry &e = slots[set * ways + w];
         if (e.valid && e.tag == tag) {
             e.lruTick = ++tick;
+            if (tracer)
+                tracer->record(EventKind::MtcHit, tag);
             return &e;
         }
     }
+    if (tracer)
+        tracer->record(EventKind::MtcMiss, tag);
     return nullptr;
 }
 
@@ -81,6 +85,14 @@ MapTableCache::install(MtcEntry &slot, Addr tag, Addr old_map,
                        Addr new_map, bool dirty, bool in_map_table)
 {
     sink.consumeOverhead(tech.mtCacheAccessNj);
+    if (slot.valid) {
+        if (residency)
+            residency->sample(
+                static_cast<double>(tick - slot.installTick));
+        if (tracer)
+            tracer->record(EventKind::MtcEvict, slot.tag,
+                           slot.dirty ? 1 : 0);
+    }
     markClean(slot);
     slot.valid = true;
     if (dirty)
@@ -91,6 +103,7 @@ MapTableCache::install(MtcEntry &slot, Addr tag, Addr old_map,
     slot.newMap = new_map;
     slot.inMapTable = in_map_table;
     slot.lruTick = ++tick;
+    slot.installTick = tick;
 }
 
 void

@@ -15,7 +15,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 #include "power/energy.hh"
 
 namespace nvmr
@@ -30,6 +32,8 @@ struct MtcEntry
     Addr oldMap = kNoAddr;
     Addr newMap = kNoAddr;
     uint64_t lruTick = 0;
+    /** Tick the entry was installed at (residency measurement). */
+    uint64_t installTick = 0;
 
     /** True once this tag has a persisted NVM map-table entry;
      *  used to bound pending new-tag insertions. */
@@ -48,6 +52,13 @@ class MapTableCache
                   const TechParams &params, EnergySink &sink);
 
     uint32_t numEntries() const { return entries; }
+
+    /** Attach an event sink (hit/miss/evict events; null = off). */
+    void attachTrace(TraceSink *sink_) { tracer = sink_; }
+
+    /** Attach a residency histogram sampled at each eviction with
+     *  the number of LRU ticks the victim stayed installed. */
+    void attachResidency(Histogram *hist) { residency = hist; }
 
     /** Accounted lookup; refreshes LRU on hit, nullptr on miss. */
     MtcEntry *lookup(Addr tag);
@@ -90,6 +101,8 @@ class MapTableCache
     std::vector<MtcEntry> slots;
     uint64_t tick = 0;
     uint32_t dirtyCnt = 0;
+    TraceSink *tracer = nullptr;
+    Histogram *residency = nullptr;
 
     uint32_t numSets() const { return entries / ways; }
     uint32_t setOf(Addr tag) const;

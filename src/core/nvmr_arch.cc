@@ -12,6 +12,25 @@ NvmrArch::NvmrArch(const SystemConfig &config, Nvm &nvm_,
       mtc(config.mtCacheEntries, config.mtCacheWays, config.tech, snk),
       freeList(config.effectiveFreeListEntries(), config.tech, snk)
 {
+    statRegistry.add(&renameChainDepth);
+    statRegistry.add(&mtcResidency);
+    mtc.attachResidency(&mtcResidency);
+}
+
+void
+NvmrArch::attachTrace(TraceSink *sink_)
+{
+    DominanceArch::attachTrace(sink_);
+    mtc.attachTrace(sink_);
+}
+
+void
+NvmrArch::noteRename(Addr tag, Addr fresh)
+{
+    ++archStats.renames;
+    renameChainDepth.sample(static_cast<double>(++renameDepths[tag]));
+    if (tracer)
+        tracer->record(EventKind::Rename, tag, fresh);
 }
 
 void
@@ -172,7 +191,7 @@ NvmrArch::violatingWriteback(CacheLine &line)
     entry->newMap = fresh;
     mtc.markDirty(*entry);
     sink.consumeOverhead(cfg.tech.mtCacheAccessNj);
-    ++archStats.renames;
+    noteRename(tag, fresh);
     writeBlockTo(fresh, line);
     line.dirty = false;
 }
@@ -218,7 +237,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
                 Addr fresh = freeList.pop();
                 entry->newMap = fresh;
                 mtc.markDirty(*entry);
-                ++archStats.renames;
+                noteRename(tag, fresh);
                 writeBlockTo(fresh, line);
             } else {
                 // In-place overwrite of the recovery image: journal
@@ -236,7 +255,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
             } else if (!freeList.empty() &&
                        (mapping || room_for(nullptr))) {
                 Addr fresh = freeList.pop();
-                ++archStats.renames;
+                noteRename(tag, fresh);
                 writeBlockTo(fresh, line);
                 mapTable.set(tag, fresh);
                 if (!cfg.reclaimEnabled || current >= reserved)
@@ -360,6 +379,8 @@ NvmrArch::postBackup(BackupReason reason)
         mapTable.erase(tag);
         mtc.invalidateTag(tag);
         ++archStats.reclaims;
+        if (tracer)
+            tracer->record(EventKind::Reclaim, tag, mapping);
     }
     freeList.persistPointers();
 }

@@ -13,6 +13,8 @@
 #ifndef NVMR_CORE_NVMR_ARCH_HH
 #define NVMR_CORE_NVMR_ARCH_HH
 
+#include <unordered_map>
+
 #include "arch/arch.hh"
 #include "core/freelist.hh"
 #include "core/maptable.hh"
@@ -43,6 +45,9 @@ class NvmrArch : public DominanceArch
     /** Forward the injector to the NVM-resident structures. */
     void attachFaults(FaultInjector *injector) override;
 
+    /** Forward the event sink to the map-table cache. */
+    void attachTrace(TraceSink *sink_) override;
+
     /** Base address of the compiler-reserved renaming region. */
     Addr reservedBase() const { return reserved; }
 
@@ -67,6 +72,20 @@ class NvmrArch : public DominanceArch
     MapTableCache mtc;
     FreeList freeList;
     Addr reserved = 0;
+
+    /** How many times each tag has been renamed (observability
+     *  bookkeeping only; charges nothing). */
+    std::unordered_map<Addr, uint64_t> renameDepths;
+
+    Histogram renameChainDepth{
+        "rename_chain_depth",
+        "per-tag cumulative rename count at each rename"};
+    Histogram mtcResidency{
+        "mtcache_residency",
+        "LRU ticks a map-table-cache entry survived before eviction"};
+
+    /** Count / trace / histogram one rename of `tag` to `fresh`. */
+    void noteRename(Addr tag, Addr fresh);
 
     /**
      * Find the map-table-cache entry for a tag, filling it from the

@@ -18,6 +18,8 @@ Cpu::reset()
     _pc = program.entry;
     _halted = false;
     _instret = 0;
+    if (tracer)
+        tracer->record(EventKind::CpuReset);
 }
 
 CpuSnapshot
@@ -173,6 +175,8 @@ Cpu::step()
         _halted = true;
         res.halted = true;
         next_pc = _pc;
+        if (tracer)
+            tracer->record(EventKind::CpuHalt, _instret + 1);
         break;
 
       case Op::TASK:

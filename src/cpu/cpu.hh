@@ -20,6 +20,7 @@
 #include "common/types.hh"
 #include "isa/program.hh"
 #include "mem/port.hh"
+#include "obs/trace.hh"
 
 namespace nvmr
 {
@@ -80,9 +81,13 @@ class Cpu
     /** Retired instruction count since reset(). */
     uint64_t instret() const { return _instret; }
 
+    /** Attach an event sink (halt / reset events; null = off). */
+    void attachTrace(TraceSink *sink_) { tracer = sink_; }
+
   private:
     const Program &program;
     DataPort &port;
+    TraceSink *tracer = nullptr;
 
     std::array<Word, kNumRegs> regs{};
     uint32_t _pc = 0;

@@ -40,6 +40,8 @@ FaultInjector::persistPoint()
         st.persistPoints == cfg.crashAtPersist) {
         ++st.injectedCrashes;
         closeWindow();
+        if (tracer)
+            tracer->record(EventKind::FaultCrash, st.persistPoints, 0);
         throw PowerFailure{};
     }
 }
@@ -54,6 +56,9 @@ FaultInjector::cyclePoint(uint64_t total_cycles)
     cfg.crashAtCycle = 0; // fire once
     ++st.injectedCrashes;
     closeWindow();
+    if (tracer)
+        tracer->record(EventKind::FaultCrash, st.persistPoints,
+                       total_cycles);
     throw PowerFailure{};
 }
 
@@ -112,6 +117,8 @@ FaultInjector::onWordWritten(Addr addr, uint64_t wear)
     if (rng.uniform() < 0.5)
         cell.values |= 1u << bit;
     ++st.stuckBitsCreated;
+    if (tracer)
+        tracer->record(EventKind::StuckBit, addr, bit);
 }
 
 void
@@ -176,12 +183,16 @@ FaultInjector::applyReadFaults(Addr addr, Word stored)
         if (nerr == 1) {
             // SECDED corrects a single bit error transparently.
             ++st.eccCorrected;
+            if (tracer)
+                tracer->record(EventKind::EccCorrected, addr);
             out.value = stored;
             return out;
         }
         // Detected (or aliased) multi-bit error: bounded retry.
         if (out.retries >= cfg.maxReadRetries) {
             ++st.eccUncorrectable;
+            if (tracer)
+                tracer->record(EventKind::EccUncorrectable, addr);
             out.value = stored ^ err;
             return out;
         }

@@ -19,6 +19,7 @@
 
 #include "common/types.hh"
 #include "common/xorshift.hh"
+#include "obs/trace.hh"
 
 namespace nvmr
 {
@@ -109,6 +110,9 @@ class FaultInjector
 
     bool enabled() const { return cfg.enabled; }
 
+    /** Attach an event sink (crash / ECC / stuck-bit events). */
+    void attachTrace(TraceSink *sink_) { tracer = sink_; }
+
     /** True if any bit-error mechanism can fire (lets the Nvm read
      *  path skip fault work entirely for pure crash-point runs). */
     bool
@@ -194,6 +198,7 @@ class FaultInjector
     FaultConfig cfg;
     FaultStats st;
     XorShift rng;
+    TraceSink *tracer = nullptr;
 
     /** Per-word stuck cells: mask of stuck bit positions and the
      *  values they are stuck at. */

@@ -88,6 +88,18 @@ class Nvm
     /** Number of distinct words written at least once. */
     uint64_t wornWords() const;
 
+    /** Visit every worn word as fn(word_addr, wear); skips words
+     *  never written (observability: per-location wear histogram). */
+    template <typename Fn>
+    void
+    forEachWornWord(Fn fn) const
+    {
+        for (size_t i = 0; i < wear.size(); ++i)
+            if (wear[i])
+                fn(static_cast<Addr>(i * kWordBytes),
+                   static_cast<uint64_t>(wear[i]));
+    }
+
     /** Total accounted word writes. */
     uint64_t totalWrites() const { return writes; }
 

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The typed event taxonomy of the observability layer. Every layer of
+ * the simulator -- power, backup orchestration, caches, the renaming
+ * structures, fault injection, the CPU -- records TraceEvents into an
+ * attached TraceSink; exporters turn the stream into human text,
+ * Chrome/Perfetto trace JSON or a compact binary format
+ * (docs/observability.md documents the taxonomy and the per-kind
+ * argument meanings).
+ */
+
+#ifndef NVMR_OBS_EVENT_HH
+#define NVMR_OBS_EVENT_HH
+
+#include <cstdint>
+
+namespace nvmr
+{
+
+/**
+ * Event kinds, grouped by the layer that records them. The a0/a1
+ * arguments of TraceEvent are kind-specific (addresses, reasons,
+ * counts); eventKindName() gives the stable wire name.
+ */
+enum class EventKind : uint8_t
+{
+    // Power layer (Simulator / power policy).
+    PowerOn,    ///< execution (re)started; a0 = restores so far
+    PowerFail,  ///< supply browned out or a crash was injected
+    Hibernate,  ///< JIT-style policy put the core to sleep
+    Wake,       ///< supply recovered from hibernation
+
+    // Backup / restore orchestration.
+    BackupBegin,    ///< a0 = BackupReason
+    BackupCommit,   ///< a0 = BackupReason, a1 = committed sequence
+    BackupRollback, ///< torn backup rolled back; a1 = dropped seq
+    Restore,        ///< a1 = restored backup sequence
+
+    // Data cache and dominance tracking (mem/arch layer).
+    CacheHit,       ///< a0 = block address
+    CacheMiss,      ///< a0 = block address
+    CacheEvict,     ///< a0 = block address, a1 = 1 if read-dominated
+    Violation,      ///< idempotency violation; a0 = block address
+    GbfInsert,      ///< a0 = block address
+    DominanceReset, ///< GBF/LBF cleared (new code section)
+
+    // NvMR renaming structures (core layer).
+    Rename,   ///< a0 = home (tag) address, a1 = fresh location
+    Reclaim,  ///< a0 = tag, a1 = mapping returned to the free list
+    MtcHit,   ///< map-table-cache hit; a0 = tag
+    MtcMiss,  ///< map-table-cache miss; a0 = tag
+    MtcEvict, ///< entry evicted; a0 = tag, a1 = 1 if dirty
+
+    // Other architectures.
+    OopAppend,    ///< HOOP buffered a word update; a0 = address
+    OopGc,        ///< HOOP garbage-collected its OOP region
+    TaskBoundary, ///< task-based scheme hit a `task` instruction
+
+    // CPU.
+    CpuHalt,  ///< program executed halt; a0 = instret
+    CpuReset, ///< core rebooted from its reset state
+
+    // Fault injection (fault layer).
+    FaultCrash,       ///< injected power cut; a0 = persist#, a1 = cycle
+    EccCorrected,     ///< a0 = word address
+    EccUncorrectable, ///< a0 = word address
+    StuckBit,         ///< wear-out stuck-at fault born; a0 = address
+
+    NUM
+};
+
+constexpr unsigned kNumEventKinds = static_cast<unsigned>(EventKind::NUM);
+
+/** Stable wire name of an event kind (manifest / exporters). */
+const char *eventKindName(EventKind kind);
+
+/**
+ * One recorded event. `cycle` is wall time (totalCycles, off periods
+ * included); `active` is powered-on time (activeCycles) -- the pair
+ * lets exporters show either view. a0/a1 are kind-specific.
+ */
+struct TraceEvent
+{
+    uint64_t cycle = 0;
+    uint64_t active = 0;
+    EventKind kind = EventKind::PowerOn;
+    uint64_t a0 = 0;
+    uint64_t a1 = 0;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_OBS_EVENT_HH

@@ -1,0 +1,403 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace nvmr
+{
+
+// ----------------------------------------------------------------------
+// JsonWriter
+// ----------------------------------------------------------------------
+
+void
+JsonWriter::preValue()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (!stack.empty()) {
+        if (stack.back().items > 0)
+            out += ',';
+        ++stack.back().items;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    out += '{';
+    stack.push_back(Scope{true});
+}
+
+void
+JsonWriter::endObject()
+{
+    panic_if(stack.empty() || !stack.back().object,
+             "endObject without a matching beginObject");
+    stack.pop_back();
+    out += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    out += '[';
+    stack.push_back(Scope{false});
+}
+
+void
+JsonWriter::endArray()
+{
+    panic_if(stack.empty() || stack.back().object,
+             "endArray without a matching beginArray");
+    stack.pop_back();
+    out += ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    panic_if(stack.empty() || !stack.back().object,
+             "key() outside an object");
+    panic_if(afterKey, "key() while a key is already pending");
+    if (stack.back().items > 0)
+        out += ',';
+    ++stack.back().items;
+    out += '"';
+    out += escape(name);
+    out += "\":";
+    afterKey = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    out += '"';
+    out += escape(v);
+    out += '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    preValue();
+    out += number(v);
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    out += std::to_string(v);
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    out += v ? "true" : "false";
+}
+
+void
+JsonWriter::valueNull()
+{
+    preValue();
+    out += "null";
+}
+
+std::string
+JsonWriter::number(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no Inf/NaN literals
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+        return std::to_string(static_cast<int64_t>(v));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Validating parser
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** Strict recursive-descent JSON validator. */
+class Validator
+{
+  public:
+    Validator(const std::string &text, std::string *error)
+        : s(text), err(error)
+    {}
+
+    bool
+    run()
+    {
+        skipWs();
+        if (!parseValue())
+            return false;
+        skipWs();
+        if (pos != s.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    const std::string &s;
+    std::string *err;
+    size_t pos = 0;
+    unsigned depth = 0;
+    static constexpr unsigned kMaxDepth = 512;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (err)
+            *err = why + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (s.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseValue()
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        switch (s[pos]) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return parseNumber();
+        }
+    }
+
+    bool
+    parseObject()
+    {
+        ++depth;
+        ++pos; // '{'
+        skipWs();
+        if (pos < s.size() && s[pos] == '}') {
+            ++pos;
+            --depth;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos >= s.size() || s[pos] != '"')
+                return fail("expected object key");
+            if (!parseString())
+                return false;
+            skipWs();
+            if (pos >= s.size() || s[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == '}') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray()
+    {
+        ++depth;
+        ++pos; // '['
+        skipWs();
+        if (pos < s.size() && s[pos] == ']') {
+            ++pos;
+            --depth;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (pos < s.size() && s[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (pos < s.size() && s[pos] == ']') {
+                ++pos;
+                --depth;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString()
+    {
+        ++pos; // '"'
+        while (pos < s.size()) {
+            unsigned char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return fail("unterminated escape");
+                char e = s[pos];
+                if (e == 'u') {
+                    for (unsigned i = 1; i <= 4; ++i) {
+                        if (pos + i >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[pos + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+                ++pos;
+            } else if (c < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                ++pos;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber()
+    {
+        size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos])))
+            return fail("bad number");
+        if (s[pos] == '0') {
+            ++pos;
+        } else {
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        if (pos < s.size() && s[pos] == '.') {
+            ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad fraction");
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        if (pos < s.size() && (s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+            if (pos < s.size() && (s[pos] == '+' || s[pos] == '-'))
+                ++pos;
+            if (pos >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[pos])))
+                return fail("bad exponent");
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        return pos > start;
+    }
+};
+
+} // namespace
+
+bool
+jsonValidate(const std::string &text, std::string *error)
+{
+    return Validator(text, error).run();
+}
+
+} // namespace nvmr

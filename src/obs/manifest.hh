@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run-manifest writer: one JSON document per tool invocation that
+ * captures the system configuration, every run's results and a
+ * snapshot of every registered stat (scalars, histograms,
+ * distributions). Tools expose it as `--stats-json FILE`; the schema
+ * ("nvmr-run-manifest-v1") is documented in docs/observability.md.
+ *
+ * StatGroups die with their Simulator, so the writer snapshots each
+ * section into rendered JSON at the time it is added.
+ */
+
+#ifndef NVMR_OBS_MANIFEST_HH
+#define NVMR_OBS_MANIFEST_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** Accumulates config / runs / stat snapshots; renders to JSON. */
+class ManifestWriter
+{
+  public:
+    static constexpr const char *kSchema = "nvmr-run-manifest-v1";
+
+    explicit ManifestWriter(std::string tool_name)
+        : tool(std::move(tool_name))
+    {}
+
+    /** Record the system configuration (last call wins). */
+    void setConfig(const SystemConfig &cfg);
+
+    /** Append one run record. */
+    void addRun(const RunResult &r);
+
+    /** Snapshot every stat in `group` under `label` (call while the
+     *  owning Simulator is still alive). */
+    void addStatGroup(const std::string &label, const StatGroup &group);
+
+    /** Tool-specific top-level extras (numbers and strings). */
+    void addExtra(const std::string &key, double v);
+    void addExtra(const std::string &key, const std::string &v);
+
+    /** Tool-specific extra carrying pre-rendered JSON. */
+    void addExtraJson(const std::string &key, const std::string &json);
+
+    /** Render the complete manifest document. */
+    std::string json() const;
+
+    /** Render and write to `path`; fatal on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    /** Render one RunResult as a JSON object (shared with bench). */
+    static std::string runJson(const RunResult &r);
+
+    /** Render one stat as a JSON object. */
+    static std::string statJson(const StatBase &stat);
+
+  private:
+    std::string tool;
+    std::string configJson;                 ///< rendered object or ""
+    std::vector<std::string> runJsons;      ///< rendered objects
+    std::vector<std::string> statSections;  ///< rendered objects
+    /// key -> rendered JSON value
+    std::vector<std::pair<std::string, std::string>> extras;
+};
+
+} // namespace nvmr
+
+#endif // NVMR_OBS_MANIFEST_HH

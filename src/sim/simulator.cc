@@ -143,6 +143,20 @@ Simulator::Simulator(const Program &prog, ArchKind arch_kind,
     chargesMtLeak = dynamic_cast<NvmrArch *>(arch.get()) != nullptr;
     cap.setVoltage(opts.initialVoltage > 0 ? opts.initialVoltage
                                            : cap.vOnVolts());
+    arch->addStat(&backupIntervalHist);
+    arch->addStat(&onPeriodHist);
+    arch->addStat(&nvmWearHist);
+}
+
+void
+Simulator::attachTrace(TraceSink *sink_)
+{
+    tracer = sink_;
+    if (sink_)
+        sink_->bindClocks(&totalCycles, &activeCycles);
+    arch->attachTrace(sink_);
+    cpu.attachTrace(sink_);
+    injector.attachTrace(sink_);
 }
 
 // ----------------------------------------------------------------------
@@ -232,6 +246,9 @@ Simulator::requestBackup(BackupReason reason)
     if (cap.usableNj() < cost)
         throw PowerFailure{}; // cannot afford the backup: die instead
 
+    if (tracer)
+        tracer->record(EventKind::BackupBegin,
+                       static_cast<uint64_t>(reason));
     injector.noteBackupStart();
     EMode saved = mode;
     mode = EMode::Backup;
@@ -252,9 +269,15 @@ Simulator::requestBackup(BackupReason reason)
 
     mode = saved;
     injector.noteBackupEnd();
+    backupIntervalHist.sample(
+        static_cast<double>(activeCycles - lastBackupActive));
     lastBackupActive = activeCycles;
     if (observer)
         observer->onBackup(reason, activeCycles);
+    if (tracer)
+        tracer->record(EventKind::BackupCommit,
+                       static_cast<uint64_t>(reason),
+                       arch->committedBackupSeq());
 }
 
 void
@@ -265,6 +288,8 @@ Simulator::hibernate()
     // while the capacitor stays above the brown-out voltage.
     if (observer)
         observer->onHibernate(activeCycles);
+    if (tracer)
+        tracer->record(EventKind::Hibernate);
     while (true) {
         Cycles step = HarvestTrace::cyclesPerSample;
         cap.harvestNj(trace.harvestedNj(totalCycles, step));
@@ -278,6 +303,8 @@ Simulator::hibernate()
         if (cap.voltage() >= cap.vOnVolts()) {
             if (observer)
                 observer->onWake(activeCycles);
+            if (tracer)
+                tracer->record(EventKind::Wake);
             return; // supply recovered; resume execution
         }
         if (totalCycles > opts.maxCycles)
@@ -338,6 +365,8 @@ Simulator::rebootFromReset()
             arch->onPowerFail();
             if (observer)
                 observer->onPowerFailure(activeCycles);
+            if (tracer)
+                tracer->record(EventKind::PowerFail);
         }
     }
 }
@@ -355,8 +384,12 @@ Simulator::handlePowerFailure()
     inAtomic = false;
     account.pendingToDead();
     arch->onPowerFail();
+    onPeriodHist.sample(
+        static_cast<double>(activeCycles - resumeActive));
     if (observer)
         observer->onPowerFailure(activeCycles);
+    if (tracer)
+        tracer->record(EventKind::PowerFail);
 
     if (!arch->hasPersistedState()) {
         rebootFromReset();
@@ -379,6 +412,9 @@ Simulator::handlePowerFailure()
             resumeActive = activeCycles;
             if (observer)
                 observer->onRestore(activeCycles);
+            if (tracer)
+                tracer->record(EventKind::Restore, 0,
+                               arch->committedBackupSeq());
             return;
         } catch (PowerFailure &) {
             // Power died again mid-restore (e.g. while replaying the
@@ -393,6 +429,8 @@ Simulator::handlePowerFailure()
             arch->onPowerFail();
             if (observer)
                 observer->onPowerFailure(activeCycles);
+            if (tracer)
+                tracer->record(EventKind::PowerFail);
         }
     }
 }
@@ -421,6 +459,8 @@ RunResult
 Simulator::run()
 {
     policy.reset();
+    if (tracer)
+        tracer->record(EventKind::PowerOn);
     cpu.reset();
     arch->initialize(program);
 
@@ -457,6 +497,9 @@ Simulator::run()
         checked = true;
     }
     arch->syncFaultCounters(injector.stats());
+    nvm.forEachWornWord([&](Addr, uint64_t wear_count) {
+        nvmWearHist.sample(static_cast<double>(wear_count));
+    });
     RunResult result = makeResult(completed, validated);
     result.validationChecked = checked;
     return result;

@@ -17,6 +17,7 @@
 
 #include "arch/arch.hh"
 #include "cpu/cpu.hh"
+#include "obs/trace.hh"
 #include "power/capacitor.hh"
 #include "power/energy.hh"
 #include "power/policy.hh"
@@ -183,6 +184,15 @@ class Simulator : public EnergySink, public BackupHost
     /** Attach an event observer (optional; call before run()). */
     void attachObserver(SimObserver *obs) { observer = obs; }
 
+    /**
+     * Attach a trace sink (optional; call before run()). The sink's
+     * clocks are bound to this simulator's cycle counters and the
+     * sink is forwarded to the architecture, the CPU and the fault
+     * injector. Tracing never charges energy or cycles, so an
+     * attached sink cannot change simulation results.
+     */
+    void attachTrace(TraceSink *sink_);
+
     /** The run's fault injector (crashtest reads the backup-window
      *  census and fault counters out of it). */
     const FaultInjector &faultInjector() const { return injector; }
@@ -213,6 +223,19 @@ class Simulator : public EnergySink, public BackupHost
     bool inAtomic = false;
     bool chargesMtLeak = false;
     SimObserver *observer = nullptr;
+    TraceSink *tracer = nullptr;
+
+    /** Orchestration-level histograms, registered into the
+     *  architecture's StatGroup alongside its counters. */
+    Histogram backupIntervalHist{
+        "backup_interval_cycles",
+        "active cycles between committed backups"};
+    Histogram onPeriodHist{
+        "on_period_cycles",
+        "active cycles per powered-on period"};
+    Histogram nvmWearHist{
+        "nvm_wear_per_word",
+        "accounted writes per worn NVM word (end of run)"};
 
     uint64_t activeCycles = 0;
     uint64_t totalCycles = 0;

@@ -163,12 +163,15 @@ TEST(ArchCommon, StatGroupExposesCountersByName)
     h.arch->storeWord(0x100, 1);
     h.evict(0x100); // one violation, one rename
     const StatGroup &stats = h.arch->statGroup();
-    EXPECT_DOUBLE_EQ(stats.get("violations"), 1.0);
-    EXPECT_DOUBLE_EQ(stats.get("renames"), 1.0);
+    ASSERT_TRUE(stats.has("violations"));
+    ASSERT_TRUE(stats.has("renames"));
+    EXPECT_DOUBLE_EQ(stats.value("violations"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.value("renames"), 1.0);
     EXPECT_NE(stats.find("backups"), nullptr);
     EXPECT_EQ(stats.find("nonexistent"), nullptr);
+    EXPECT_FALSE(stats.has("nonexistent"));
     // Values mirror the struct view.
-    EXPECT_DOUBLE_EQ(stats.get("backups"),
+    EXPECT_DOUBLE_EQ(stats.value("backups"),
                      h.arch->stats().backups.value());
 }
 

@@ -36,6 +36,37 @@ TEST(Stats, GroupLookup)
     EXPECT_DOUBLE_EQ(g.get("zzz"), 0.0);
 }
 
+TEST(Stats, HasReportsExistenceAcrossKinds)
+{
+    Scalar a("a", "");
+    Histogram h("h", "");
+    Distribution d("d", "");
+    StatGroup g;
+    g.add(&a);
+    g.add(&h);
+    g.add(&d);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_TRUE(g.has("h"));
+    EXPECT_TRUE(g.has("d"));
+    EXPECT_FALSE(g.has("zzz"));
+    EXPECT_EQ(g.findHistogram("h"), &h);
+    EXPECT_EQ(g.findDistribution("d"), &d);
+    // Kind-checked lookups reject the wrong shape.
+    EXPECT_EQ(g.find("h"), nullptr);
+    EXPECT_EQ(g.findHistogram("a"), nullptr);
+    EXPECT_EQ(g.findDistribution("h"), nullptr);
+    EXPECT_EQ(g.findStat("h"), &h);
+}
+
+TEST(StatsDeathTest, ValuePanicsOnMissingStat)
+{
+    Scalar a("a", "");
+    StatGroup g;
+    g.add(&a);
+    EXPECT_DOUBLE_EQ(g.value("a"), 0.0);
+    EXPECT_DEATH(g.value("renamed_counter"), "renamed_counter");
+}
+
 TEST(Stats, GroupResetAll)
 {
     Scalar a("a", ""), b("b", "");

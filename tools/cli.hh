@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared command-line parsing for the tool drivers: enum-valued
+ * arguments are validated the moment they are read, and a bad value
+ * dies with the full list of valid choices instead of a bare
+ * "unknown" complaint deep into the run.
+ */
+
+#ifndef NVMR_TOOLS_CLI_HH
+#define NVMR_TOOLS_CLI_HH
+
+#include <string>
+
+#include "common/log.hh"
+#include "power/policy.hh"
+#include "power/trace.hh"
+#include "sim/config.hh"
+
+namespace nvmr::cli
+{
+
+inline ArchKind
+parseArchKind(const std::string &name)
+{
+    if (name == "ideal")
+        return ArchKind::Ideal;
+    if (name == "clank")
+        return ArchKind::Clank;
+    if (name == "clank_original")
+        return ArchKind::ClankOriginal;
+    if (name == "task")
+        return ArchKind::Task;
+    if (name == "nvmr")
+        return ArchKind::Nvmr;
+    if (name == "hoop")
+        return ArchKind::Hoop;
+    fatal("unknown architecture '", name,
+          "' (valid: ideal, clank, clank_original, task, nvmr, "
+          "hoop)");
+}
+
+inline PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    if (name == "jit")
+        return PolicyKind::Jit;
+    if (name == "watchdog")
+        return PolicyKind::Watchdog;
+    if (name == "spendthrift")
+        return PolicyKind::Spendthrift;
+    if (name == "none")
+        return PolicyKind::None;
+    fatal("unknown policy '", name,
+          "' (valid: jit, watchdog, spendthrift, none)");
+}
+
+inline TraceKind
+parseTraceKind(const std::string &name)
+{
+    if (name == "rf")
+        return TraceKind::Rf;
+    if (name == "solar")
+        return TraceKind::Solar;
+    if (name == "wind")
+        return TraceKind::Wind;
+    fatal("unknown trace kind '", name, "' (valid: rf, solar, wind)");
+}
+
+} // namespace nvmr::cli
+
+#endif // NVMR_TOOLS_CLI_HH

@@ -22,8 +22,11 @@
 #include <thread>
 #include <vector>
 
+#include "cli.hh"
 #include "common/log.hh"
 #include "common/xorshift.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -43,6 +46,7 @@ struct Options
     uint64_t seed = 1;
     unsigned threads = 0; ///< 0 = hardware concurrency
     bool verbose = false;
+    std::string statsJsonPath;
 };
 
 void
@@ -65,27 +69,19 @@ usage()
         "(default 1)\n"
         "  --threads N           worker threads (default: all cores)\n"
         "  --smoke               fixed small subset for CI (<30 s)\n"
+        "  --stats-json FILE     write the sweep manifest as JSON\n"
         "  -v, --verbose         per-combination progress\n");
 }
 
 ArchKind
 parseArch(const std::string &name)
 {
-    if (name == "nvmr")
-        return ArchKind::Nvmr;
-    if (name == "clank")
-        return ArchKind::Clank;
-    if (name == "clank_original")
-        return ArchKind::ClankOriginal;
-    if (name == "task")
-        return ArchKind::Task;
-    if (name == "hoop")
-        return ArchKind::Hoop;
-    if (name == "ideal")
+    ArchKind kind = cli::parseArchKind(name);
+    if (kind == ArchKind::Ideal)
         fatal("the ideal architecture relies on the perfect-JIT "
               "assumption that power never fails unexpectedly; "
               "injected crashes break it by construction");
-    fatal("unknown architecture '", name, "'");
+    return kind;
 }
 
 std::vector<std::string>
@@ -311,6 +307,8 @@ main(int argc, char **argv)
             opt.stride = 9;
             opt.cycleSamples = 2;
             opt.seed = 1;
+        } else if (a == "--stats-json") {
+            opt.statsJsonPath = need(i);
         } else if (a == "-v" || a == "--verbose") {
             opt.verbose = true;
         } else if (a == "-h" || a == "--help") {
@@ -329,12 +327,23 @@ main(int argc, char **argv)
     uint64_t total_points = 0;
     uint64_t total_crashed = 0;
     bool ok = true;
+    JsonWriter combos;
+    combos.beginArray();
     for (const std::string &w : opt.workloads) {
         for (ArchKind arch : opt.archs) {
             ComboReport report;
             bool combo_ok = exploreCombo(w, arch, opt, report);
             total_points += report.points;
             total_crashed += report.crashed;
+            combos.beginObject();
+            combos.kv("workload", w);
+            combos.kv("arch", archKindName(arch));
+            combos.kv("points", report.points);
+            combos.kv("crashed", report.crashed);
+            combos.kv("divergent", report.divergent);
+            combos.kv("stuck", report.stuck);
+            combos.kv("ok", combo_ok);
+            combos.endObject();
             if (opt.verbose || !combo_ok)
                 std::printf(
                     "%-14s %-14s %6llu points, %6llu crashed, "
@@ -356,5 +365,18 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total_crashed),
                 static_cast<unsigned long long>(opt.workloads.size()),
                 static_cast<unsigned long long>(opt.archs.size()));
+
+    if (!opt.statsJsonPath.empty()) {
+        combos.endArray();
+        ManifestWriter manifest("nvmr_crashtest");
+        manifest.setConfig(crashConfig());
+        manifest.addExtra("crash_points",
+                          static_cast<double>(total_points));
+        manifest.addExtra("crashes_fired",
+                          static_cast<double>(total_crashed));
+        manifest.addExtra("result", ok ? "passed" : "failed");
+        manifest.addExtraJson("combos", combos.str());
+        manifest.writeFile(opt.statsJsonPath);
+    }
     return ok ? 0 : 1;
 }

@@ -16,10 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/log.hh"
 #include "common/xorshift.hh"
 #include "isa/assembler.hh"
+#include "obs/manifest.hh"
 #include "sim/randprog.hh"
 #include "sim/simulator.hh"
 
@@ -64,7 +66,7 @@ randomFaults(uint64_t seed, uint64_t case_idx)
 
 bool
 runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
-        const FaultConfig *faults)
+        const FaultConfig *faults, ManifestWriter *manifest)
 {
     // Small capacitors need the co-sized platform (atomic backups
     // must fit one charge; see SystemConfig::smallPlatform).
@@ -94,6 +96,10 @@ runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
     if (r.completed && r.validated)
         return true;
 
+    // Only failures land in the manifest: a fuzz campaign makes tens
+    // of thousands of runs and the interesting ones are the repros.
+    if (manifest)
+        manifest->addRun(r);
     std::printf(
         "\nFAILURE: seed %llu on %s/%s at %g F: %s\n"
         "repro: regenerate with makeRandomProgram(%llu) and rerun\n",
@@ -119,13 +125,19 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     bool faults_mode = false;
+    std::string stats_json_path;
     uint64_t positional[2] = {100, 1};
     int npos = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--faults") == 0)
+        if (std::strcmp(argv[i], "--faults") == 0) {
             faults_mode = true;
-        else if (npos < 2)
+        } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+            if (i + 1 >= argc)
+                fatal("missing value for --stats-json");
+            stats_json_path = argv[++i];
+        } else if (npos < 2) {
             positional[npos++] = std::strtoull(argv[i], nullptr, 10);
+        }
     }
     uint64_t iterations = positional[0];
     uint64_t base_seed = positional[1];
@@ -145,6 +157,23 @@ main(int argc, char **argv)
         {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6, true},
     };
 
+    ManifestWriter manifest("nvmr_fuzz");
+    ManifestWriter *mptr =
+        stats_json_path.empty() ? nullptr : &manifest;
+    auto writeManifest = [&](uint64_t runs, bool clean) {
+        if (!mptr)
+            return;
+        manifest.addExtra("iterations",
+                          static_cast<double>(iterations));
+        manifest.addExtra("base_seed",
+                          static_cast<double>(base_seed));
+        manifest.addExtra("faults_mode", faults_mode ? 1.0 : 0.0);
+        manifest.addExtra("runs", static_cast<double>(runs));
+        manifest.addExtra("result",
+                          clean ? "no divergence" : "divergence");
+        manifest.writeFile(stats_json_path);
+    };
+
     uint64_t runs = 0;
     for (uint64_t i = 0; i < iterations; ++i) {
         uint64_t seed = base_seed + i;
@@ -160,8 +189,11 @@ main(int argc, char **argv)
             FaultConfig fc;
             if (faults_mode)
                 fc = randomFaults(seed, case_idx);
-            if (!runCase(prog, seed, c, faults_mode ? &fc : nullptr))
+            if (!runCase(prog, seed, c, faults_mode ? &fc : nullptr,
+                         mptr)) {
+                writeManifest(runs, false);
                 return 1;
+            }
             ++runs;
         }
         if ((i + 1) % 10 == 0)
@@ -171,5 +203,6 @@ main(int argc, char **argv)
     }
     std::printf("fuzzing done: %llu runs, no divergence\n",
                 static_cast<unsigned long long>(runs));
+    writeManifest(runs, true);
     return 0;
 }

@@ -9,14 +9,20 @@
  *     nvmr_sim -w qsort -a clank -p watchdog --period 4000 \
  *              --cap 7.5e-3 --seed 42 --events
  *     nvmr_sim -w dijkstra -a nvmr --reclaim --map-table 512
+ *     nvmr_sim -w hist -a nvmr --stats-json run.json \
+ *              --trace-json trace.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "cli.hh"
 #include "common/log.hh"
+#include "obs/manifest.hh"
+#include "obs/trace.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
@@ -60,49 +66,14 @@ usage()
         "  --ber RATE            transient NVM bit-error rate per "
         "word read\n"
         "  --no-validate         skip the continuous-run comparison\n"
-        "  --events              print intermittence events live\n");
+        "  --events              print intermittence events live\n"
+        "  --events-verbose      print every traced event, not just\n"
+        "                        the intermittence narrative\n"
+        "  --stats-json FILE     write the run manifest (config,\n"
+        "                        results, stat histograms) as JSON\n"
+        "  --trace-json FILE     write a Chrome/Perfetto trace\n"
+        "  --trace-bin FILE      write the compact binary trace\n");
 }
-
-/** Observer that narrates the run. */
-class EventPrinter : public SimObserver
-{
-  public:
-    void
-    onBackup(BackupReason reason, Cycles at) override
-    {
-        std::printf("[%12llu] backup (%s)\n",
-                    static_cast<unsigned long long>(at),
-                    backupReasonName(reason));
-    }
-
-    void
-    onPowerFailure(Cycles at) override
-    {
-        std::printf("[%12llu] power failure\n",
-                    static_cast<unsigned long long>(at));
-    }
-
-    void
-    onRestore(Cycles at) override
-    {
-        std::printf("[%12llu] restore\n",
-                    static_cast<unsigned long long>(at));
-    }
-
-    void
-    onHibernate(Cycles at) override
-    {
-        std::printf("[%12llu] hibernate\n",
-                    static_cast<unsigned long long>(at));
-    }
-
-    void
-    onWake(Cycles at) override
-    {
-        std::printf("[%12llu] wake\n",
-                    static_cast<unsigned long long>(at));
-    }
-};
 
 } // namespace
 
@@ -110,10 +81,13 @@ int
 main(int argc, char **argv)
 {
     std::string workload;
-    std::string arch_name = "nvmr";
-    std::string policy_name = "jit";
-    std::string trace_name = "rf";
+    ArchKind arch = ArchKind::Nvmr;
+    PolicyKind policy_kind = PolicyKind::Jit;
+    TraceKind kind = TraceKind::Rf;
     std::string model_path;
+    std::string stats_json_path;
+    std::string trace_json_path;
+    std::string trace_bin_path;
     Cycles period = 8000;
     double cap = 0.1;
     uint64_t seed = 7;
@@ -121,6 +95,7 @@ main(int argc, char **argv)
     SystemConfig cfg;
     RunOptions opts;
     bool events = false;
+    bool events_verbose = false;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -137,15 +112,15 @@ main(int argc, char **argv)
         } else if (a == "-w" || a == "--workload") {
             workload = need(i);
         } else if (a == "-a" || a == "--arch") {
-            arch_name = need(i);
+            arch = cli::parseArchKind(need(i));
         } else if (a == "-p" || a == "--policy") {
-            policy_name = need(i);
+            policy_kind = cli::parsePolicyKind(need(i));
         } else if (a == "--period") {
             period = std::strtoull(need(i), nullptr, 10);
         } else if (a == "--cap") {
             cap = std::strtod(need(i), nullptr);
         } else if (a == "--trace") {
-            trace_name = need(i);
+            kind = cli::parseTraceKind(need(i));
         } else if (a == "--seed") {
             seed = std::strtoull(need(i), nullptr, 10);
         } else if (a == "--mean") {
@@ -180,6 +155,15 @@ main(int argc, char **argv)
             opts.validate = false;
         } else if (a == "--events") {
             events = true;
+        } else if (a == "--events-verbose") {
+            events = true;
+            events_verbose = true;
+        } else if (a == "--stats-json") {
+            stats_json_path = need(i);
+        } else if (a == "--trace-json") {
+            trace_json_path = need(i);
+        } else if (a == "--trace-bin") {
+            trace_bin_path = need(i);
         } else if (a == "-h" || a == "--help") {
             usage();
             return 0;
@@ -196,61 +180,72 @@ main(int argc, char **argv)
 
     cfg.capacitorFarads = cap;
 
-    ArchKind arch;
-    if (arch_name == "ideal")
-        arch = ArchKind::Ideal;
-    else if (arch_name == "clank")
-        arch = ArchKind::Clank;
-    else if (arch_name == "clank_original")
-        arch = ArchKind::ClankOriginal;
-    else if (arch_name == "task")
-        arch = ArchKind::Task;
-    else if (arch_name == "nvmr")
-        arch = ArchKind::Nvmr;
-    else if (arch_name == "hoop")
-        arch = ArchKind::Hoop;
-    else
-        fatal("unknown architecture '", arch_name, "'");
-
     PolicySpec spec;
     SpendthriftModel model;
-    if (policy_name == "jit") {
-        spec.kind = PolicyKind::Jit;
-    } else if (policy_name == "watchdog") {
-        spec.kind = PolicyKind::Watchdog;
+    spec.kind = policy_kind;
+    if (policy_kind == PolicyKind::Watchdog) {
         spec.watchdogPeriod = period;
-    } else if (policy_name == "spendthrift") {
+    } else if (policy_kind == PolicyKind::Spendthrift) {
         fatal_if(model_path.empty(),
                  "spendthrift needs --model FILE (train one with "
                  "nvmr_train)");
         model = SpendthriftModel::loadFromFile(model_path);
-        spec.kind = PolicyKind::Spendthrift;
         spec.model = &model;
-    } else {
-        fatal("unknown policy '", policy_name, "'");
     }
-
-    TraceKind kind;
-    if (trace_name == "rf")
-        kind = TraceKind::Rf;
-    else if (trace_name == "solar")
-        kind = TraceKind::Solar;
-    else if (trace_name == "wind")
-        kind = TraceKind::Wind;
-    else
-        fatal("unknown trace kind '", trace_name, "'");
 
     Program prog = assembleWorkload(workload);
     HarvestTrace trace(kind, seed, mean);
     auto policy = makePolicy(spec);
 
     Simulator sim(prog, arch, cfg, *policy, trace, opts);
-    EventPrinter printer;
-    if (events)
-        sim.attachObserver(&printer);
+
+    // Assemble the sink stack: --events is just a TextSink over the
+    // same event stream the exporters buffer.
+    TextSink text(stdout, events_verbose);
+    TraceBuffer buffer;
+    TeeSink tee;
+    bool want_buffer =
+        !trace_json_path.empty() || !trace_bin_path.empty();
+    TraceSink *sink = nullptr;
+    if (events && want_buffer) {
+        tee.addSink(&text);
+        tee.addSink(&buffer);
+        sink = &tee;
+    } else if (events) {
+        sink = &text;
+    } else if (want_buffer) {
+        sink = &buffer;
+    }
+    if (sink)
+        sim.attachTrace(sink);
 
     RunResult result = sim.run();
     std::fputs(formatRunReport(result).c_str(), stdout);
+
+    if (!trace_json_path.empty()) {
+        std::ofstream os(trace_json_path);
+        fatal_if(!os, "cannot write ", trace_json_path);
+        os << buffer.toChromeJson();
+    }
+    if (!trace_bin_path.empty()) {
+        std::ofstream os(trace_bin_path, std::ios::binary);
+        fatal_if(!os, "cannot write ", trace_bin_path);
+        buffer.writeBinary(os);
+    }
+    if (!stats_json_path.empty()) {
+        ManifestWriter manifest("nvmr_sim");
+        manifest.setConfig(cfg);
+        manifest.addRun(result);
+        manifest.addStatGroup(workload + "/" +
+                                  std::string(archKindName(arch)),
+                              sim.archRef().statGroup());
+        if (want_buffer)
+            manifest.addExtra("trace_events_recorded",
+                              static_cast<double>(
+                                  buffer.totalRecorded()));
+        manifest.writeFile(stats_json_path);
+    }
+
     return result.completed && (!opts.validate || result.validated)
                ? 0
                : 1;

@@ -7,6 +7,7 @@
  *
  *     nvmr_sweep > sweep.csv
  *     nvmr_sweep --traces 3 --archs clank,nvmr --caps 0.1,0.0075
+ *     nvmr_sweep --workloads hist --stats-json sweep.json
  */
 
 #include <cstdio>
@@ -16,7 +17,9 @@
 #include <string>
 #include <vector>
 
+#include "cli.hh"
 #include "common/log.hh"
+#include "obs/manifest.hh"
 #include "sim/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -37,35 +40,14 @@ splitList(const std::string &value)
     return out;
 }
 
-ArchKind
-parseArch(const std::string &name)
-{
-    if (name == "ideal")
-        return ArchKind::Ideal;
-    if (name == "clank")
-        return ArchKind::Clank;
-    if (name == "clank_original")
-        return ArchKind::ClankOriginal;
-    if (name == "task")
-        return ArchKind::Task;
-    if (name == "nvmr")
-        return ArchKind::Nvmr;
-    if (name == "hoop")
-        return ArchKind::Hoop;
-    fatal("unknown architecture '", name, "'");
-}
-
 PolicyKind
-parsePolicy(const std::string &name)
+parseSweepPolicy(const std::string &name)
 {
-    if (name == "jit")
-        return PolicyKind::Jit;
-    if (name == "watchdog")
-        return PolicyKind::Watchdog;
-    if (name == "none")
-        return PolicyKind::None;
-    fatal("unknown policy '", name,
-          "' (spendthrift needs offline training)");
+    PolicyKind kind = cli::parsePolicyKind(name);
+    fatal_if(kind == PolicyKind::Spendthrift,
+             "spendthrift needs offline training (see nvmr_train); "
+             "valid here: jit, watchdog, none");
+    return kind;
 }
 
 } // namespace
@@ -80,6 +62,7 @@ main(int argc, char **argv)
     // "none" is also accepted (task-based runs).
     std::vector<double> caps = {0.1};
     std::vector<std::string> workloads;
+    std::string stats_json_path;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -101,6 +84,8 @@ main(int argc, char **argv)
                 caps.push_back(std::strtod(c.c_str(), nullptr));
         } else if (a == "--workloads") {
             workloads = splitList(need(i));
+        } else if (a == "--stats-json") {
+            stats_json_path = need(i);
         } else {
             fatal("unknown argument '", a, "'");
         }
@@ -109,7 +94,18 @@ main(int argc, char **argv)
         for (const WorkloadInfo &w : allWorkloads())
             workloads.push_back(w.name);
 
+    // Validate the whole grid before running anything: a typo in the
+    // last arch name should not surface hours into the sweep.
+    std::vector<ArchKind> arch_kinds;
+    for (const std::string &name : archs)
+        arch_kinds.push_back(cli::parseArchKind(name));
+    std::vector<PolicyKind> policy_kinds;
+    for (const std::string &name : policies)
+        policy_kinds.push_back(parseSweepPolicy(name));
+
     auto traces = HarvestTrace::standardSet(num_traces);
+    ManifestWriter manifest("nvmr_sweep");
+    uint64_t cells = 0;
 
     std::printf(
         "workload,arch,policy,capacitor_f,total_uj,forward_uj,"
@@ -119,22 +115,29 @@ main(int argc, char **argv)
 
     for (const std::string &wl : workloads) {
         Program prog = assembleWorkload(wl);
-        for (const std::string &arch_name : archs) {
-            ArchKind arch = parseArch(arch_name);
-            for (const std::string &pol_name : policies) {
+        for (size_t ai = 0; ai < arch_kinds.size(); ++ai) {
+            ArchKind arch = arch_kinds[ai];
+            for (size_t pi = 0; pi < policy_kinds.size(); ++pi) {
                 PolicySpec spec;
-                spec.kind = parsePolicy(pol_name);
+                spec.kind = policy_kinds[pi];
                 for (double farads : caps) {
                     SystemConfig cfg;
                     cfg.capacitorFarads = farads;
-                    Aggregate a = runAveraged(prog, arch, cfg, spec,
-                                              traces);
+                    if (cells == 0)
+                        manifest.setConfig(cfg);
+                    std::vector<RunResult> runs =
+                        runOnTraces(prog, arch, cfg, spec, traces);
+                    Aggregate a = aggregate(runs);
+                    ++cells;
+                    if (!stats_json_path.empty())
+                        for (const RunResult &r : runs)
+                            manifest.addRun(r);
                     std::printf(
                         "%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.2f,"
                         "%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,"
                         "%.0f,%d,%d\n",
-                        wl.c_str(), arch_name.c_str(),
-                        pol_name.c_str(), farads,
+                        wl.c_str(), archs[ai].c_str(),
+                        policies[pi].c_str(), farads,
                         a.totalEnergyNj / 1000.0,
                         a.energyOf(ECat::Forward) / 1000.0,
                         (a.energyOf(ECat::ForwardOverhead) +
@@ -153,6 +156,13 @@ main(int argc, char **argv)
                 }
             }
         }
+    }
+
+    if (!stats_json_path.empty()) {
+        manifest.addExtra("cells", static_cast<double>(cells));
+        manifest.addExtra("traces_per_cell",
+                          static_cast<double>(traces.size()));
+        manifest.writeFile(stats_json_path);
     }
     return 0;
 }
