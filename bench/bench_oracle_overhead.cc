@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Quantifies the cost of the src/check layer: for each architecture
+ * it times identically configured simulations with and without the
+ * lockstep InvariantSink attached (plus the golden-oracle run and
+ * final-state diff on top), and — because sinks must never charge
+ * energy or cycles — asserts that every simulation statistic is
+ * bit-identical between the checked and unchecked runs.
+ *
+ * Writes BENCH_oracle_overhead.json (override with --stats-json).
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "check/runner.hh"
+#include "isa/assembler.hh"
+#include "sim/randprog.hh"
+#include "sim/simulator.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+/** Wall-clock one call. */
+template <typename Fn>
+double
+timeMs(Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/** Mirror the checked harness's platform sizing (check/runner.cc). */
+SystemConfig
+configFor(const CheckCase &c)
+{
+    SystemConfig cfg = c.farads < 1e-3 ? SystemConfig::smallPlatform()
+                                       : SystemConfig{};
+    cfg.capacitorFarads = c.farads;
+    cfg.mapTableEntries = 64;
+    cfg.mtCacheEntries = 16;
+    cfg.mtCacheWays = 4;
+    return cfg;
+}
+
+RunResult
+runOnce(const Program &prog, const CheckCase &c, InvariantSink **sink)
+{
+    SystemConfig cfg = configFor(c);
+    PolicySpec spec;
+    spec.kind = c.policy;
+    if (c.farads < 1e-3)
+        spec.watchdogPeriod = 300;
+    auto policy = makePolicy(spec);
+    HarvestTrace trace(c.traceKind, c.traceSeed, c.traceMeanMw);
+    RunOptions opts;
+    opts.maxCycles = c.maxCycles;
+    opts.faults = c.faults;
+    opts.validate = false;
+    Simulator sim(prog, c.arch, cfg, *policy, trace, opts);
+    InvariantSink inv(sim.archRef(), cfg);
+    if (sink) {
+        sim.attachTrace(&inv);
+        *sink = &inv;
+    }
+    RunResult r = sim.run();
+    if (sink) {
+        inv.finalize();
+        fatal_if(!inv.clean(), "invariant violation during overhead "
+                               "measurement:\n",
+                 inv.report());
+        *sink = nullptr;
+    }
+    return r;
+}
+
+void
+requireBitIdentical(const RunResult &a, const RunResult &b,
+                    const char *arch)
+{
+    auto same = [&](auto x, auto y, const char *what) {
+        fatal_if(x != y, arch, ": checked run perturbed ", what, " (",
+                 x, " vs ", y, ")");
+    };
+    same(a.completed, b.completed, "completion");
+    same(a.activeCycles, b.activeCycles, "activeCycles");
+    same(a.totalCycles, b.totalCycles, "totalCycles");
+    same(a.instructions, b.instructions, "instructions");
+    same(a.totalEnergyNj, b.totalEnergyNj, "totalEnergyNj");
+    same(a.backups, b.backups, "backups");
+    same(a.violations, b.violations, "violations");
+    same(a.renames, b.renames, "renames");
+    same(a.reclaims, b.reclaims, "reclaims");
+    same(a.restores, b.restores, "restores");
+    same(a.powerFailures, b.powerFailures, "powerFailures");
+    same(a.nvmReads, b.nvmReads, "nvmReads");
+    same(a.nvmWrites, b.nvmWrites, "nvmWrites");
+    same(a.maxWear, b.maxWear, "maxWear");
+    same(a.cacheHits, b.cacheHits, "cacheHits");
+    same(a.cacheMisses, b.cacheMisses, "cacheMisses");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    BenchRecorder rec("bench_oracle_overhead", argc, argv,
+                      "BENCH_oracle_overhead.json");
+
+    constexpr int kReps = 40;
+    constexpr uint64_t kSeed = 7;
+    const std::string text = makeRandomProgram(kSeed);
+
+    std::printf("== oracle / invariant-checking overhead ==\n");
+    std::printf("%-16s %12s %12s %10s %12s\n", "arch",
+                "unchecked ms", "checked ms", "overhead", "oracle ms");
+
+    for (ArchKind arch :
+         {ArchKind::Nvmr, ArchKind::Clank, ArchKind::Hoop}) {
+        CheckCase c;
+        c.name = std::string(archKindName(arch)) + "-overhead";
+        c.arch = arch;
+        c.policy = PolicyKind::Watchdog;
+        c.farads = 500e-6;
+        c.traceSeed = 40000 + kSeed;
+        c.programText = text;
+        c.programSeed = kSeed;
+        Program prog = assemble(c.name, c.programText);
+
+        RunResult bare_r, checked_r;
+        double bare_ms = timeMs([&] {
+            for (int i = 0; i < kReps; ++i)
+                bare_r = runOnce(prog, c, nullptr);
+        });
+        double checked_ms = timeMs([&] {
+            for (int i = 0; i < kReps; ++i) {
+                InvariantSink *sink = nullptr;
+                checked_r = runOnce(prog, c, &sink);
+            }
+        });
+        requireBitIdentical(bare_r, checked_r, archKindName(arch));
+
+        // The oracle itself amortizes across every schedule of the
+        // same program, so report it separately from the per-run
+        // lockstep cost.
+        OracleResult oracle;
+        double oracle_ms =
+            timeMs([&] { oracle = runOracle(prog); });
+        fatal_if(!oracle.halted, "oracle did not halt");
+
+        double over_pct =
+            bare_ms > 0 ? 100.0 * (checked_ms - bare_ms) / bare_ms
+                        : 0;
+        std::printf("%-16s %12.2f %12.2f %9.1f%% %12.3f\n",
+                    archKindName(arch), bare_ms / kReps,
+                    checked_ms / kReps, over_pct, oracle_ms);
+
+        std::string p = archKindName(arch);
+        rec.add(p + ".unchecked_ms", bare_ms / kReps, "ms/run");
+        rec.add(p + ".checked_ms", checked_ms / kReps, "ms/run");
+        rec.add(p + ".lockstep_overhead_pct", over_pct, "%");
+        rec.add(p + ".oracle_ms", oracle_ms, "ms");
+        rec.add(p + ".stats_bit_identical", 1, "bool");
+    }
+
+    std::printf("\nall statistics bit-identical with the checker "
+                "attached\n");
+    rec.write();
+    return 0;
+}

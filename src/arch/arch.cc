@@ -102,6 +102,9 @@ IntermittentArch::access(Addr addr, uint32_t nbytes, bool is_store)
         tracer->record(EventKind::CacheHit, block);
     }
     onAccess(*line, addr - block, nbytes, is_store);
+    if (tracer)
+        tracer->record(EventKind::MemAccess, addr,
+                       (static_cast<uint64_t>(is_store) << 8) | nbytes);
     return *line;
 }
 
@@ -196,6 +199,8 @@ IntermittentArch::commitBackup(BackupReason reason)
     activeSlot = 1 - activeSlot;
     committedSeq = snapSlots[activeSlot].seq;
     snapStaged = false;
+    if (faults && faults->enabled())
+        faults->noteBackupCommit();
     if (txnOpen) {
         txnCommitted = true;
         onBackupCommitted();
@@ -428,7 +433,10 @@ DominanceArch::afterFill(CacheLine &line)
     // Section 4.5: a GBF hit means the block was read-dominated when
     // it was last evicted in this code section; conservatively mark
     // every word read-dominated.
-    if (gbf.maybeContains(line.blockAddr))
+    bool hit = gbf.maybeContains(line.blockAddr);
+    if (tracer)
+        tracer->record(EventKind::GbfQuery, line.blockAddr, hit);
+    if (hit)
         line.markAllReadDominated();
 }
 

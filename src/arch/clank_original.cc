@@ -52,6 +52,8 @@ ClankOriginalArch::loadWord(Addr addr)
 {
     panic_if(addr % kWordBytes != 0, "misaligned load at ", addr);
     trackAccess(addr, false);
+    if (tracer)
+        tracer->record(EventKind::MemAccess, addr, kWordBytes);
     return nvm.readWord(addr);
 }
 
@@ -60,6 +62,9 @@ ClankOriginalArch::storeWord(Addr addr, Word value)
 {
     panic_if(addr % kWordBytes != 0, "misaligned store at ", addr);
     trackAccess(addr, true);
+    if (tracer)
+        tracer->record(EventKind::MemAccess, addr,
+                       (1ull << 8) | kWordBytes);
     nvm.writeWord(addr, value);
 }
 
@@ -68,6 +73,8 @@ ClankOriginalArch::loadByte(Addr addr)
 {
     Addr word = addr & ~3u;
     trackAccess(word, false);
+    if (tracer)
+        tracer->record(EventKind::MemAccess, addr, 1);
     Word w = nvm.readWord(word);
     return static_cast<uint8_t>(w >> (8 * (addr & 3u)));
 }
@@ -100,6 +107,8 @@ ClankOriginalArch::storeByte(Addr addr, uint8_t value)
         }
         readFirst.insert(word);
     }
+    if (tracer)
+        tracer->record(EventKind::MemAccess, addr, (1ull << 8) | 1);
     Word w = nvm.inspectWord(word); // RMW read, charged as a read
     sink.addCycles(cfg.tech.flashReadCycles);
     sink.consume(cfg.tech.flashReadWordNj);

@@ -1,0 +1,175 @@
+#include "check/runner.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+SystemConfig
+buildConfig(const CheckCase &c)
+{
+    // Small capacitors need the co-sized platform (atomic backups
+    // must fit one charge); mirror the fuzzer's configuration so a
+    // repro transfers between the tools unchanged.
+    SystemConfig cfg = c.farads < 1e-3 ? SystemConfig::smallPlatform()
+                                       : SystemConfig{};
+    cfg.capacitorFarads = c.farads;
+    cfg.mapTableEntries = 64;
+    cfg.mtCacheEntries = 16;
+    cfg.mtCacheWays = 4;
+    if (c.byteLbf)
+        cfg.cache.lbfGranularityBytes = 1;
+    cfg.injectedBug = c.injectedBug;
+    return cfg;
+}
+
+PolicySpec
+buildPolicySpec(const CheckCase &c)
+{
+    PolicySpec spec;
+    spec.kind = c.policy;
+    if (c.farads < 1e-3)
+        spec.watchdogPeriod = 300;
+    return spec;
+}
+
+/** Census helper: BackupCommit timestamps without ring-buffer
+ *  pressure from the high-rate checker-feed events. */
+class CommitCycleSink : public TraceSink
+{
+  public:
+    std::vector<uint64_t> cycles;
+
+    void
+    consume(const TraceEvent &ev) override
+    {
+        if (ev.kind == EventKind::BackupCommit)
+            cycles.push_back(ev.cycle);
+    }
+};
+
+} // namespace
+
+std::string
+CheckOutcome::describe() const
+{
+    if (clean())
+        return "clean";
+    if (!run.completed)
+        return "did not complete (stuck or starved)";
+    if (totalViolations > 0)
+        return "invariant violation: " + violations.front().checker +
+               " (" + std::to_string(totalViolations) + " total)";
+    std::ostringstream os;
+    os << "diverged from oracle: " << diff.totalWordDiffs
+       << " word(s)";
+    if (!diff.regMismatches.empty())
+        os << ", " << diff.regMismatches.size() << " register(s)";
+    if (diff.pcMismatch)
+        os << ", pc";
+    return os.str();
+}
+
+std::string
+CheckOutcome::detail() const
+{
+    std::ostringstream os;
+    for (const auto &w : diff.words)
+        os << "  word 0x" << std::hex << w.addr << ": oracle 0x"
+           << w.expect << ", recovered 0x" << w.actual << std::dec
+           << "\n";
+    if (diff.totalWordDiffs > diff.words.size())
+        os << "  ... and "
+           << (diff.totalWordDiffs - diff.words.size())
+           << " further diverging words\n";
+    for (unsigned r : diff.regMismatches)
+        os << "  register r" << r << " diverged\n";
+    if (diff.pcMismatch)
+        os << "  final pc diverged\n";
+    for (const auto &v : violations)
+        os << "  [" << v.checker << "] cycle " << v.cycle << " ("
+           << v.event << "): " << v.detail << "\n";
+    if (totalViolations > violations.size())
+        os << "  ... and " << (totalViolations - violations.size())
+           << " further violations\n";
+    return os.str();
+}
+
+CheckOutcome
+runChecked(const CheckCase &c, const OracleResult *oracle)
+{
+    Program prog = assemble(c.name, c.programText);
+    SystemConfig cfg = buildConfig(c);
+    PolicySpec spec = buildPolicySpec(c);
+    auto policy = makePolicy(spec);
+    HarvestTrace trace(c.traceKind, c.traceSeed, c.traceMeanMw);
+    RunOptions opts;
+    opts.maxCycles = c.maxCycles;
+    opts.faults = c.faults;
+    // The oracle diff below subsumes (and extends) the built-in
+    // golden comparison; skipping it avoids a redundant continuous
+    // run per schedule.
+    opts.validate = false;
+
+    Simulator sim(prog, c.arch, cfg, *policy, trace, opts);
+    InvariantSink inv(sim.archRef(), cfg);
+    sim.attachTrace(&inv);
+
+    CheckOutcome out;
+    out.run = sim.run();
+    inv.finalize();
+    out.violations = inv.violations();
+    out.totalViolations = inv.totalViolations();
+
+    // A mid-execution image legitimately differs from the oracle's
+    // final state; the diff only means something for completed runs.
+    if (out.run.completed) {
+        OracleResult local;
+        if (!oracle) {
+            local = runOracle(prog);
+            oracle = &local;
+        }
+        out.diff = diffFinalState(sim.archRef(), prog, *oracle,
+                                  &sim.cpuRef());
+    }
+    return out;
+}
+
+CensusResult
+runCensus(const CheckCase &c)
+{
+    CheckCase census = c;
+    census.faults = FaultConfig{};
+    census.faults.enabled = true; // count persists, inject nothing
+
+    Program prog = assemble(census.name, census.programText);
+    SystemConfig cfg = buildConfig(census);
+    PolicySpec spec = buildPolicySpec(census);
+    auto policy = makePolicy(spec);
+    HarvestTrace trace(census.traceKind, census.traceSeed,
+                       census.traceMeanMw);
+    RunOptions opts;
+    opts.maxCycles = census.maxCycles;
+    opts.faults = census.faults;
+    opts.validate = false;
+
+    Simulator sim(prog, census.arch, cfg, *policy, trace, opts);
+    CommitCycleSink commits;
+    sim.attachTrace(&commits);
+    RunResult r = sim.run();
+
+    CensusResult out;
+    out.completed = r.completed;
+    out.totalCycles = r.totalCycles;
+    out.persistPoints = sim.faultInjector().stats().persistPoints;
+    out.windows = sim.faultInjector().backupWindows();
+    out.commitCycles = std::move(commits.cycles);
+    return out;
+}
+
+} // namespace nvmr

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The checked-run harness: executes one CheckCase with the lockstep
+ * InvariantSink attached and diffs the final state against the golden
+ * oracle. Also provides the fault-free census run that schedule
+ * generation and the crash explorers build on.
+ */
+
+#ifndef NVMR_CHECK_RUNNER_HH
+#define NVMR_CHECK_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "check/oracle.hh"
+#include "check/repro.hh"
+#include "fault/fault.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr
+{
+
+/** Everything one checked run produced. */
+struct CheckOutcome
+{
+    RunResult run;
+    StateDiff diff;                           ///< oracle comparison
+    std::vector<InvariantViolation> violations;
+    uint64_t totalViolations = 0;
+
+    bool
+    clean() const
+    {
+        return run.completed && diff.clean() && totalViolations == 0;
+    }
+
+    /** One-line failure classification ("clean" when clean). */
+    std::string describe() const;
+
+    /** Multi-line detail: diverging words + invariant report. */
+    std::string detail() const;
+};
+
+/**
+ * Run the case intermittently with invariant checking, then diff the
+ * recovered final state against the oracle. Pass a precomputed
+ * oracle result to amortize it across many schedules of the same
+ * program (it must match the case's programText).
+ */
+CheckOutcome runChecked(const CheckCase &c,
+                        const OracleResult *oracle = nullptr);
+
+/** What a fault-free census run of a case observed. */
+struct CensusResult
+{
+    bool completed = false;
+    uint64_t totalCycles = 0;
+    uint64_t persistPoints = 0;
+    std::vector<FaultInjector::BackupWindow> windows;
+    std::vector<uint64_t> commitCycles; ///< BackupCommit event times
+};
+
+/**
+ * Run the case once with the injector armed but no crash scheduled,
+ * collecting the backup-window persist census and the wall-cycle
+ * timestamps of every committed backup. This is the map the
+ * adversarial schedule generator aims its crashes with.
+ */
+CensusResult runCensus(const CheckCase &c);
+
+} // namespace nvmr
+
+#endif // NVMR_CHECK_RUNNER_HH

@@ -1,0 +1,139 @@
+#include "check/schedule.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/xorshift.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+CheckCase
+crashCase(const CheckCase &base, const char *tag, size_t idx)
+{
+    CheckCase c = base;
+    c.name = base.name + "-" + tag + std::to_string(idx);
+    c.faults = FaultConfig{};
+    c.faults.enabled = true;
+    return c;
+}
+
+} // namespace
+
+std::vector<CheckCase>
+makeAdversarialSchedules(const CheckCase &base,
+                         const CensusResult &census,
+                         const ScheduleGenParams &params)
+{
+    std::vector<CheckCase> out;
+    if (params.budget == 0)
+        return out;
+
+    // The ideal baseline is only correct under the perfect-JIT
+    // assumption; injected crashes would "find" that by design.
+    // Stress it with different harvest traces instead.
+    if (base.arch == ArchKind::Ideal) {
+        for (uint32_t i = 0; i < params.budget; ++i) {
+            CheckCase c = base;
+            c.name = base.name + "-trace" + std::to_string(i);
+            c.faults = FaultConfig{};
+            c.traceSeed = base.traceSeed + 1 + i;
+            c.traceKind = i % 3 == 0   ? TraceKind::Rf
+                          : i % 3 == 1 ? TraceKind::Solar
+                                       : TraceKind::Wind;
+            out.push_back(std::move(c));
+        }
+        return out;
+    }
+
+    auto room = [&] { return out.size() < params.budget; };
+
+    // Commit-adjacent persist boundaries: the commit record's persist
+    // is the recovery image's atomicity hinge.
+    size_t idx = 0;
+    for (const auto &w : census.windows) {
+        if (w.commitPersist == 0)
+            continue;
+        for (int64_t d = -1; d <= 1 && room(); ++d) {
+            int64_t p = static_cast<int64_t>(w.commitPersist) + d;
+            if (p < 1)
+                continue;
+            CheckCase c = crashCase(base, "cp", idx++);
+            c.faults.crashPersists.push_back(
+                static_cast<uint64_t>(p));
+            out.push_back(std::move(c));
+        }
+    }
+
+    // Commit-adjacent wall cycles.
+    idx = 0;
+    for (uint64_t t : census.commitCycles) {
+        for (int64_t d = -1; d <= 1 && room(); ++d) {
+            int64_t at = static_cast<int64_t>(t) + d;
+            if (at < 1)
+                continue;
+            CheckCase c = crashCase(base, "cc", idx++);
+            c.faults.crashCycles.push_back(
+                static_cast<uint64_t>(at));
+            out.push_back(std::move(c));
+        }
+    }
+
+    XorShift rng(params.seed * 2654435761ull + 1);
+
+    // Brownout storms: repeated crashes across the whole run.
+    for (uint32_t s = 0; s < params.stormCases && room(); ++s) {
+        CheckCase c = crashCase(base, "storm", s);
+        uint32_t n =
+            1 + static_cast<uint32_t>(
+                    rng.next() % std::max(1u, params.maxStormCrashes));
+        for (uint32_t i = 0; i < n; ++i) {
+            if (census.persistPoints > 0 && rng.next() % 2 == 0) {
+                c.faults.crashPersists.push_back(
+                    1 + rng.next() % census.persistPoints);
+            } else if (census.totalCycles > 1) {
+                c.faults.crashCycles.push_back(
+                    1 + rng.next() % census.totalCycles);
+            }
+        }
+        out.push_back(std::move(c));
+    }
+
+    // Window-coverage random: cycle through backup windows so every
+    // backup keeps receiving shots however small the budget.
+    size_t wi = 0;
+    idx = 0;
+    while (room()) {
+        CheckCase c = crashCase(base, "rnd", idx++);
+        if (!census.windows.empty()) {
+            const auto &w = census.windows[wi++ % census.windows.size()];
+            uint64_t lo = w.firstPersist > 2 ? w.firstPersist - 2 : 1;
+            uint64_t hi = w.lastPersist + 2;
+            c.faults.crashPersists.push_back(lo +
+                                             rng.next() % (hi - lo + 1));
+        } else if (census.persistPoints > 0) {
+            c.faults.crashPersists.push_back(
+                1 + rng.next() % census.persistPoints);
+        } else if (census.totalCycles > 1) {
+            c.faults.crashCycles.push_back(1 +
+                                           rng.next() %
+                                               census.totalCycles);
+        } else {
+            break;
+        }
+        // A second, uniformly random crash on half the schedules:
+        // crash-during-recovery and crash-after-crash interleavings.
+        if (rng.next() % 2 == 0 && census.totalCycles > 1)
+            c.faults.crashCycles.push_back(1 +
+                                           rng.next() %
+                                               census.totalCycles);
+        out.push_back(std::move(c));
+    }
+
+    return out;
+}
+
+} // namespace nvmr

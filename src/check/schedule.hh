@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Adversarial power-schedule generation. Starting from a fault-free
+ * census of where a case's backups persist and commit, emits crash
+ * schedules aimed at the protocol's most fragile instants:
+ *
+ *   - one crash immediately before / at / after every backup's
+ *     commit-record persist (the atomicity boundary);
+ *   - one crash one cycle before / at / after every commit's wall
+ *     time (catches cycle-driven state like watchdog resets);
+ *   - brownout storms: many crashes per run, spread over the whole
+ *     execution, stressing repeated restore/redo paths;
+ *   - window-coverage random schedules: random persist boundaries
+ *     drawn window-by-window so every backup gets shots even when
+ *     the budget is far smaller than the persist count.
+ *
+ * The ideal baseline assumes power never fails unexpectedly, so for
+ * it the generator varies harvest traces (different hibernate/wake
+ * patterns under JIT) instead of injecting crashes.
+ */
+
+#ifndef NVMR_CHECK_SCHEDULE_HH
+#define NVMR_CHECK_SCHEDULE_HH
+
+#include <vector>
+
+#include "check/repro.hh"
+#include "check/runner.hh"
+
+namespace nvmr
+{
+
+/** Generation knobs. */
+struct ScheduleGenParams
+{
+    uint32_t budget = 1000;      ///< schedules to emit (at most)
+    uint64_t seed = 1;           ///< rng seed for the random portion
+    uint32_t stormCases = 24;    ///< brownout-storm schedules
+    uint32_t maxStormCrashes = 12; ///< crashes per storm
+};
+
+/**
+ * Generate up to `budget` single-run crash schedules for `base`. The
+ * census must come from runCensus(base) (same program and config).
+ * Systematic commit-adjacent schedules come first, then storms, then
+ * window-coverage random ones up to the budget.
+ */
+std::vector<CheckCase> makeAdversarialSchedules(
+    const CheckCase &base, const CensusResult &census,
+    const ScheduleGenParams &params = {});
+
+} // namespace nvmr
+
+#endif // NVMR_CHECK_SCHEDULE_HH

@@ -1,0 +1,301 @@
+#include "check/shrink.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/runner.hh"
+#include "isa/assembler.hh"
+
+namespace nvmr
+{
+
+namespace
+{
+
+/** Shared run budget + per-program oracle cache for one shrink. */
+struct ShrinkSession
+{
+    uint32_t runs = 0;
+    uint32_t maxRuns;
+    std::map<std::string, OracleResult> oracles;
+
+    explicit ShrinkSession(uint32_t max_runs) : maxRuns(max_runs) {}
+
+    bool exhausted() const { return runs >= maxRuns; }
+
+    /** True if the case still fails the checked harness. */
+    bool
+    fails(const CheckCase &c)
+    {
+        ++runs;
+        auto it = oracles.find(c.programText);
+        if (it == oracles.end()) {
+            it = oracles
+                     .emplace(c.programText,
+                              runOracle(
+                                  assemble(c.name, c.programText)))
+                     .first;
+        }
+        return !runChecked(c, &it->second).clean();
+    }
+};
+
+/**
+ * ddmin over the index set [0, n): find a small subset of kept items
+ * for which `fails_with(kept)` still holds. Assumes it holds for the
+ * full set. Returns kept indices in ascending order.
+ */
+std::vector<size_t>
+ddmin(size_t n,
+      const std::function<bool(const std::vector<size_t> &)> &fails_with,
+      ShrinkSession &session)
+{
+    std::vector<size_t> current(n);
+    for (size_t i = 0; i < n; ++i)
+        current[i] = i;
+    if (n == 0)
+        return current;
+
+    size_t granularity = 2;
+    while (!current.empty() && !session.exhausted()) {
+        if (granularity > current.size())
+            granularity = current.size();
+        size_t chunk = (current.size() + granularity - 1) / granularity;
+        bool reduced = false;
+        for (size_t start = 0;
+             start < current.size() && !session.exhausted();
+             start += chunk) {
+            std::vector<size_t> complement;
+            complement.reserve(current.size());
+            for (size_t i = 0; i < current.size(); ++i)
+                if (i < start || i >= start + chunk)
+                    complement.push_back(current[i]);
+            if (fails_with(complement)) {
+                current = std::move(complement);
+                granularity = std::max<size_t>(2, granularity - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (reduced)
+            continue;
+        if (granularity >= current.size())
+            break;
+        granularity = std::min(granularity * 2, current.size());
+    }
+    return current;
+}
+
+/** One crash point: persist boundary or wall cycle. */
+struct CrashPoint
+{
+    bool isCycle = false;
+    uint64_t value = 0;
+};
+
+std::vector<CrashPoint>
+collectPoints(const FaultConfig &fc)
+{
+    std::vector<CrashPoint> points;
+    for (uint64_t p : fc.crashPersists)
+        if (p)
+            points.push_back({false, p});
+    if (fc.crashAtPersist)
+        points.push_back({false, fc.crashAtPersist});
+    for (uint64_t t : fc.crashCycles)
+        if (t)
+            points.push_back({true, t});
+    if (fc.crashAtCycle)
+        points.push_back({true, fc.crashAtCycle});
+    return points;
+}
+
+CheckCase
+withPoints(const CheckCase &base, const std::vector<CrashPoint> &pts)
+{
+    CheckCase c = base;
+    c.faults.crashAtPersist = 0;
+    c.faults.crashAtCycle = 0;
+    c.faults.crashPersists.clear();
+    c.faults.crashCycles.clear();
+    for (const CrashPoint &p : pts)
+        (p.isCycle ? c.faults.crashCycles : c.faults.crashPersists)
+            .push_back(p.value);
+    return c;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += "\n";
+    }
+    return out;
+}
+
+/** First whitespace-separated token of a line. */
+std::string
+token(const std::string &line, size_t which)
+{
+    std::istringstream is(line);
+    std::string t;
+    for (size_t i = 0; i <= which; ++i)
+        if (!(is >> t))
+            return "";
+    return t;
+}
+
+/**
+ * Safe to delete without breaking assembly or termination: loads,
+ * stores, and arithmetic whose destination is a pure data register
+ * (r3/r4/r5). Labels, branches, `li`, loop counters (r2/r7) and
+ * address-forming code (r1/r6) all stay.
+ */
+bool
+removableLine(const std::string &line)
+{
+    if (line.empty() || !std::isspace(static_cast<unsigned char>(line[0])))
+        return false; // label or empty
+    std::string op = token(line, 0);
+    if (op.empty() || op[0] == '.')
+        return false;
+    if (op == "ld" || op == "st" || op == "ldb" || op == "stb")
+        return true;
+    if (op == "add" || op == "addi" || op == "xor") {
+        std::string dst = token(line, 1);
+        if (!dst.empty() && dst.back() == ',')
+            dst.pop_back();
+        return dst == "r3" || dst == "r4" || dst == "r5";
+    }
+    return false;
+}
+
+/** Parse the generator's `li r2, N   # outer iterations` marker. */
+bool
+parseOuterIterations(const std::string &line, uint64_t &n)
+{
+    if (line.find("# outer iterations") == std::string::npos)
+        return false;
+    if (token(line, 0) != "li" || token(line, 1) != "r2,")
+        return false;
+    n = std::strtoull(token(line, 2).c_str(), nullptr, 10);
+    return n > 0;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const CheckCase &failing, uint32_t max_runs)
+{
+    ShrinkSession session(max_runs);
+    ShrinkResult result;
+    result.minimized = failing;
+
+    if (!session.fails(failing)) {
+        result.runsUsed = session.runs;
+        return result;
+    }
+    result.verifiedFailing = true;
+    CheckCase best = failing;
+
+    // Phase 1: ddmin the crash schedule.
+    std::vector<CrashPoint> points = collectPoints(best.faults);
+    if (!points.empty() && !session.exhausted()) {
+        auto kept = ddmin(
+            points.size(),
+            [&](const std::vector<size_t> &idx) {
+                std::vector<CrashPoint> sub;
+                for (size_t i : idx)
+                    sub.push_back(points[i]);
+                return session.fails(withPoints(best, sub));
+            },
+            session);
+        std::vector<CrashPoint> sub;
+        for (size_t i : kept)
+            sub.push_back(points[i]);
+        best = withPoints(best, sub);
+    }
+
+    // Phase 2: shrink the outer iteration count (smallest power of
+    // two that still fails).
+    {
+        std::vector<std::string> lines = splitLines(best.programText);
+        for (size_t li = 0; li < lines.size(); ++li) {
+            uint64_t orig = 0;
+            if (!parseOuterIterations(lines[li], orig))
+                continue;
+            for (uint64_t n = 1; n < orig && !session.exhausted();
+                 n *= 2) {
+                std::vector<std::string> cand = lines;
+                cand[li] = "        li   r2, " + std::to_string(n) +
+                           "   # outer iterations";
+                CheckCase c = best;
+                c.programText = joinLines(cand);
+                if (session.fails(c)) {
+                    best = c;
+                    break;
+                }
+            }
+            break;
+        }
+    }
+
+    // Phase 3: ddmin the program body over safe-to-remove lines.
+    {
+        std::vector<std::string> lines = splitLines(best.programText);
+        std::vector<size_t> removable;
+        for (size_t i = 0; i < lines.size(); ++i)
+            if (removableLine(lines[i]))
+                removable.push_back(i);
+        if (!removable.empty() && !session.exhausted()) {
+            auto build = [&](const std::vector<size_t> &keep_idx) {
+                std::vector<bool> keep(lines.size(), true);
+                for (size_t r : removable)
+                    keep[r] = false;
+                for (size_t k : keep_idx)
+                    keep[removable[k]] = true;
+                std::vector<std::string> cand;
+                for (size_t i = 0; i < lines.size(); ++i)
+                    if (keep[i])
+                        cand.push_back(lines[i]);
+                CheckCase c = best;
+                c.programText = joinLines(cand);
+                return c;
+            };
+            auto kept = ddmin(
+                removable.size(),
+                [&](const std::vector<size_t> &idx) {
+                    return session.fails(build(idx));
+                },
+                session);
+            best = build(kept);
+        }
+    }
+
+    best.name = failing.name + "-min";
+    best.programSeed = 0; // text no longer matches any seed
+    result.minimized = best;
+    result.runsUsed = session.runs;
+    return result;
+}
+
+} // namespace nvmr

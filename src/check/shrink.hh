@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing CheckCases. Given a case the
+ * checked runner flags (oracle divergence, invariant violation or a
+ * stuck run), shrinks -- while preserving failure --
+ *
+ *   1. the crash schedule, via ddmin over the union of persist- and
+ *      cycle-crash points;
+ *   2. the outer iteration count of the generated program;
+ *   3. the program body, via ddmin over provably safe-to-remove
+ *      lines (loads, stores and data-register arithmetic; never
+ *      labels, branches, loop counters or address-forming code, so
+ *      every candidate still assembles and terminates).
+ *
+ * The result is a minimal self-contained case, ready to save as a
+ * `.repro` and replay with `nvmr_diff --replay`.
+ */
+
+#ifndef NVMR_CHECK_SHRINK_HH
+#define NVMR_CHECK_SHRINK_HH
+
+#include <cstdint>
+
+#include "check/repro.hh"
+
+namespace nvmr
+{
+
+/** Minimization outcome. */
+struct ShrinkResult
+{
+    CheckCase minimized;
+    uint32_t runsUsed = 0;       ///< checked runs spent
+    bool verifiedFailing = false; ///< the input case failed at all
+};
+
+/**
+ * Shrink a failing case. Every candidate is re-run through the full
+ * checked harness, so the minimized case provably still fails; if
+ * the input is actually clean, returns it untouched with
+ * verifiedFailing = false.
+ *
+ * @param max_runs Budget of checked runs across all phases.
+ */
+ShrinkResult shrinkCase(const CheckCase &failing,
+                        uint32_t max_runs = 300);
+
+} // namespace nvmr
+
+#endif // NVMR_CHECK_SHRINK_HH

@@ -61,6 +61,22 @@ class FreeList
     /** Cost of persisting the pointers (for backup estimates). */
     NanoJoules persistPointersCostNj() const;
 
+    /**
+     * Snapshot of the queue's live contents, head first (unaccounted;
+     * the src/check conservation checker audits it against the map
+     * table). Buffered transaction pushes are not yet live and are
+     * excluded; checkers run at commit points where none are pending.
+     */
+    std::vector<Addr>
+    liveSlots() const
+    {
+        std::vector<Addr> out;
+        out.reserve(count);
+        for (uint32_t i = 0; i < count; ++i)
+            out.push_back(slots[(readPtr + i) % capacity]);
+        return out;
+    }
+
     /** Crash/bit-error injection for slot and pointer persists. */
     void attachFaults(FaultInjector *injector) { faults = injector; }
 

@@ -58,6 +58,16 @@ class MapTable
     /** Unaccounted lookup for validation/tests. */
     std::optional<Addr> peek(Addr tag) const;
 
+    /** Visit every mapping as fn(tag, mapping), unaccounted (the
+     *  src/check injectivity/conservation audits walk the table). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &kv : map)
+            fn(kv.first, kv.second.mapping);
+    }
+
     /** Crash injection for entry persists. An entry update is one
      *  interruptible persist boundary: the hardware flips a per-entry
      *  valid bit last, so a torn update leaves the old entry. */

@@ -187,13 +187,29 @@ NvmrArch::violatingWriteback(CacheLine &line)
         entry = &allocateEntry(tag, tag, tag, false, false);
     }
 
-    Addr fresh = freeList.pop();
+    Addr fresh = bugAdjustFresh(freeList.pop());
     entry->newMap = fresh;
     mtc.markDirty(*entry);
     sink.consumeOverhead(cfg.tech.mtCacheAccessNj);
     noteRename(tag, fresh);
     writeBlockTo(fresh, line);
     line.dirty = false;
+}
+
+Addr
+NvmrArch::bugAdjustFresh(Addr fresh)
+{
+    // Mutation hook for the src/check acceptance tests: alias every
+    // rename onto the first location ever popped, violating map-table
+    // injectivity and corrupting any aliased tag's recovery data.
+    if (cfg.injectedBug != InjectedBug::RenameAlias)
+        return fresh;
+    if (!bugFreshValid) {
+        bugFreshValid = true;
+        bugFirstFresh = fresh;
+        return fresh;
+    }
+    return bugFirstFresh;
 }
 
 // ----------------------------------------------------------------------
@@ -234,7 +250,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
             // Clean entry, read-dominated block: rename in place of
             // a journalled double write.
             if (!freeList.empty() && room_for(entry)) {
-                Addr fresh = freeList.pop();
+                Addr fresh = bugAdjustFresh(freeList.pop());
                 entry->newMap = fresh;
                 mtc.markDirty(*entry);
                 noteRename(tag, fresh);
@@ -254,7 +270,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
                 writeBlockTo(current, line);
             } else if (!freeList.empty() &&
                        (mapping || room_for(nullptr))) {
-                Addr fresh = freeList.pop();
+                Addr fresh = bugAdjustFresh(freeList.pop());
                 noteRename(tag, fresh);
                 writeBlockTo(fresh, line);
                 mapTable.set(tag, fresh);
@@ -278,7 +294,10 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
         mapTable.set(entry.tag, entry.newMap);
         bool push_old = entry.oldMap != entry.newMap &&
                         (!cfg.reclaimEnabled || entry.oldMap >= reserved);
-        if (push_old)
+        // Mutation hook: FreeListLeak drops the retired mapping on
+        // the floor instead of returning it (a conservation leak the
+        // src/check invariant layer must catch).
+        if (push_old && cfg.injectedBug != InjectedBug::FreeListLeak)
             freeList.push(entry.oldMap);
         entry.oldMap = entry.newMap;
         mtc.markClean(entry);
@@ -368,21 +387,88 @@ NvmrArch::postBackup(BackupReason reason)
         if (!victim)
             break;
         auto [tag, mapping] = *victim;
-        if (mapping != tag) {
-            for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w) {
-                Word v = nvm.readWord(mapping + w * kWordBytes);
-                nvm.writeWord(tag + w * kWordBytes, v);
-            }
-        }
-        if (mapping >= reserved && !freeList.full())
-            freeList.push(mapping);
-        mapTable.erase(tag);
-        mtc.invalidateTag(tag);
+        // Crash-safe per-entry protocol: record, apply (copy home,
+        // erase, push, persist pointers), clear. A crash at any point
+        // leaves either the committed record to redo from, or a fully
+        // durable entry; the orphan window between the durable erase
+        // and the pointer persist is closed.
+        persistReclaimRecord(tag, mapping);
+        applyReclaimEntry(tag, mapping, /*redo=*/false);
+        clearReclaimRecord();
         ++archStats.reclaims;
         if (tracer)
             tracer->record(EventKind::Reclaim, tag, mapping);
     }
+}
+
+void
+NvmrArch::chargeRecordPersist(unsigned words)
+{
+    for (unsigned i = 0; i < words; ++i) {
+        if (faults && faults->enabled())
+            faults->persistPoint();
+        sink.addCycles(cfg.tech.flashWriteCycles);
+        sink.consumeOverhead(cfg.tech.flashWriteWordNj);
+    }
+}
+
+void
+NvmrArch::persistReclaimRecord(Addr tag, Addr mapping)
+{
+    // Invalidate, write the pair, then revalidate: a crash can never
+    // leave a valid record with a torn tag/mapping pair.
+    chargeRecordPersist(1);
+    reclaimRecValid = false;
+    chargeRecordPersist(2);
+    reclaimRecTag = tag;
+    reclaimRecMapping = mapping;
+    chargeRecordPersist(1);
+    reclaimRecValid = true;
+}
+
+void
+NvmrArch::clearReclaimRecord()
+{
+    chargeRecordPersist(1);
+    reclaimRecValid = false;
+}
+
+void
+NvmrArch::applyReclaimEntry(Addr tag, Addr mapping, bool redo)
+{
+    if (mapping != tag) {
+        // Idempotent: `mapping` stays untouched (it cannot be popped
+        // until its push is pointer-persisted, which also clears the
+        // record), so re-copying after a crash rewrites the same data.
+        for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w) {
+            Word v = nvm.readWord(mapping + w * kWordBytes);
+            nvm.writeWord(tag + w * kWordBytes, v);
+        }
+    }
+    if (mapping >= reserved && !freeList.full()) {
+        bool present = false;
+        if (redo) {
+            // The push may already be durable (crash between the
+            // pointer persist and the record clear); pushing again
+            // would hand the slot out twice.
+            for (Addr slot : freeList.liveSlots())
+                present |= slot == mapping;
+        }
+        if (!present)
+            freeList.push(mapping);
+    }
+    mapTable.erase(tag);
+    mtc.invalidateTag(tag);
     freeList.persistPointers();
+}
+
+void
+NvmrArch::redoPendingReclaim()
+{
+    if (!reclaimRecValid)
+        return;
+    applyReclaimEntry(reclaimRecTag, reclaimRecMapping, /*redo=*/true);
+    clearReclaimRecord();
 }
 
 void
@@ -400,6 +486,10 @@ NvmrArch::performRestore()
     // Re-read the persisted free-list pointers.
     sink.addCycles(2 * cfg.tech.flashReadCycles);
     sink.consumeOverhead(2 * cfg.tech.flashReadWordNj);
+    // Finish any reclaim entry a crash cut short (see the reclaim
+    // record in the header). Runs before execution resumes so the
+    // recovery image and free list are consistent again.
+    redoPendingReclaim();
     return snap;
 }
 

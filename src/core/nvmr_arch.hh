@@ -87,6 +87,43 @@ class NvmrArch : public DominanceArch
     /** Count / trace / histogram one rename of `tag` to `fresh`. */
     void noteRename(Addr tag, Addr fresh);
 
+    /** Mutation-hook state for InjectedBug::RenameAlias: the first
+     *  fresh location popped, which the bug aliases everything onto. */
+    bool bugFreshValid = false;
+    Addr bugFirstFresh = 0;
+
+    /** Apply the RenameAlias mutation hook to a popped location. */
+    Addr bugAdjustFresh(Addr fresh);
+
+    /**
+     * NVM-resident reclamation redo record (mirrored here; survives
+     * power failures). Reclaiming an entry performs a durable map-table
+     * erase whose matching free-list push only becomes durable at the
+     * next pointer persist; a crash in between would orphan the
+     * reclaimed location forever. The record closes that window: it is
+     * persisted (invalidate, write pair, revalidate -- never torn)
+     * before an entry is touched and cleared after the entry's pushes
+     * are pointer-persisted, and restore redoes any pending entry. All
+     * steps are idempotent, so nested crashes during the redo are safe.
+     */
+    bool reclaimRecValid = false;
+    Addr reclaimRecTag = 0;
+    Addr reclaimRecMapping = 0;
+
+    /** Charge (and expose to fault injection) `words` one-word record
+     *  persists. */
+    void chargeRecordPersist(unsigned words);
+    void persistReclaimRecord(Addr tag, Addr mapping);
+    void clearReclaimRecord();
+
+    /** Copy `mapping` home to `tag`, erase the map-table entry, push
+     *  the freed slot and persist the free-list pointers. Idempotent;
+     *  `redo` tolerates already-applied steps. */
+    void applyReclaimEntry(Addr tag, Addr mapping, bool redo);
+
+    /** Restore-time repair: finish a reclaim cut short by a crash. */
+    void redoPendingReclaim();
+
     /**
      * Find the map-table-cache entry for a tag, filling it from the
      * NVM map table on a miss (if the tag is mapped there). May

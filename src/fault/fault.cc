@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace nvmr
@@ -26,6 +28,25 @@ popcount32(Word w)
 // ----------------------------------------------------------------------
 
 void
+FaultInjector::initSchedules()
+{
+    persistSched = cfg.crashPersists;
+    if (cfg.crashAtPersist != 0)
+        persistSched.push_back(cfg.crashAtPersist);
+    cycleSched = cfg.crashCycles;
+    if (cfg.crashAtCycle != 0)
+        cycleSched.push_back(cfg.crashAtCycle);
+    auto canon = [](std::vector<uint64_t> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        while (!v.empty() && v.front() == 0)
+            v.erase(v.begin());
+    };
+    canon(persistSched);
+    canon(cycleSched);
+}
+
+void
 FaultInjector::persistPoint()
 {
     if (!cfg.enabled)
@@ -36,8 +57,12 @@ FaultInjector::persistPoint()
             current.firstPersist = st.persistPoints;
         current.lastPersist = st.persistPoints;
     }
-    if (cfg.crashAtPersist != 0 &&
-        st.persistPoints == cfg.crashAtPersist) {
+    while (persistIdx < persistSched.size() &&
+           persistSched[persistIdx] < st.persistPoints)
+        ++persistIdx;
+    if (persistIdx < persistSched.size() &&
+        persistSched[persistIdx] == st.persistPoints) {
+        ++persistIdx;
         ++st.injectedCrashes;
         closeWindow();
         if (tracer)
@@ -49,11 +74,14 @@ FaultInjector::persistPoint()
 void
 FaultInjector::cyclePoint(uint64_t total_cycles)
 {
-    if (!cfg.enabled || cfg.crashAtCycle == 0)
+    if (!cfg.enabled || cycleIdx >= cycleSched.size())
         return;
-    if (total_cycles < cfg.crashAtCycle)
+    if (total_cycles < cycleSched[cycleIdx])
         return;
-    cfg.crashAtCycle = 0; // fire once
+    // Fire once per armed point; skip any that this jump passed over.
+    while (cycleIdx < cycleSched.size() &&
+           cycleSched[cycleIdx] <= total_cycles)
+        ++cycleIdx;
     ++st.injectedCrashes;
     closeWindow();
     if (tracer)
@@ -82,6 +110,14 @@ FaultInjector::noteBackupEnd()
     if (!cfg.enabled)
         return;
     closeWindow();
+}
+
+void
+FaultInjector::noteBackupCommit()
+{
+    if (!cfg.enabled || !windowOpen)
+        return;
+    current.commitPersist = st.persistPoints;
 }
 
 void

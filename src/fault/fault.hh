@@ -56,6 +56,16 @@ struct FaultConfig
     /** Cut power once totalCycles reaches this value (0 disables). */
     uint64_t crashAtCycle = 0;
 
+    /**
+     * Multi-crash schedules (the adversarial power-schedule
+     * generator in src/check). Each entry arms one crash at an
+     * absolute cumulative persist boundary / totalCycles value, in
+     * addition to the single-shot fields above; entries fire in
+     * ascending order, each at most once. Zeros are ignored.
+     */
+    std::vector<uint64_t> crashPersists;
+    std::vector<uint64_t> crashCycles;
+
     /** Probability of a transient bit flip per accounted word read. */
     double transientBitErrorRate = 0.0;
 
@@ -106,7 +116,9 @@ class FaultInjector
     FaultInjector() = default;
     explicit FaultInjector(const FaultConfig &config)
         : cfg(config), rng(config.seed)
-    {}
+    {
+        initSchedules();
+    }
 
     bool enabled() const { return cfg.enabled; }
 
@@ -153,12 +165,21 @@ class FaultInjector
     {
         uint64_t firstPersist = 0;
         uint64_t lastPersist = 0;
+        /** Persist count at commitBackup(): the boundary whose write
+         *  was this backup's commit record. 0 when the backup never
+         *  committed (cut short by a crash). */
+        uint64_t commitPersist = 0;
     };
 
     /** The simulator brackets each requestBackup with these; tolerant
      *  of windows cut short by a crash. */
     void noteBackupStart();
     void noteBackupEnd();
+
+    /** Called by IntermittentArch::commitBackup the moment a staged
+     *  backup becomes the recovery image; stamps the window's commit
+     *  persist so schedule generators can target the boundary. */
+    void noteBackupCommit();
 
     const std::vector<BackupWindow> &backupWindows() const
     {
@@ -213,6 +234,14 @@ class FaultInjector
     BackupWindow current;
     std::vector<BackupWindow> windows;
 
+    /** Merged, sorted crash schedules (scalar knobs included) and
+     *  the next-to-fire cursors. */
+    std::vector<uint64_t> persistSched;
+    std::vector<uint64_t> cycleSched;
+    size_t persistIdx = 0;
+    size_t cycleIdx = 0;
+
+    void initSchedules();
     void closeWindow();
     Word stuckErrorMask(Addr addr, Word stored) const;
     Word sampleTransientMask();

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "fault/fault.hh"
+#include "obs/trace.hh"
 
 namespace nvmr
 {
@@ -66,6 +67,16 @@ Nvm::writeWord(Addr addr, Word value)
     ++wear[idx];
     sink.addCycles(tech.flashWriteCycles);
     sink.consume(tech.flashWriteWordNj);
+    if (tracer) {
+        // Changed-byte mask (bit i = byte i differs): the WAR-freedom
+        // checker only cares about bytes a persist actually altered.
+        Word old = peekWord(addr);
+        uint64_t mask = 0;
+        for (unsigned i = 0; i < kWordBytes; ++i)
+            if (((old ^ value) >> (8 * i)) & 0xffu)
+                mask |= 1ull << i;
+        tracer->record(EventKind::NvmWrite, addr, mask);
+    }
     pokeWord(addr, value);
     if (faults && faults->enabled())
         faults->onWordWritten(addr, wear[idx]);

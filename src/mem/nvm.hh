@@ -18,6 +18,7 @@ namespace nvmr
 {
 
 class FaultInjector;
+class TraceSink;
 
 /**
  * The on-board Flash. Reads and writes are word-granular and charge
@@ -43,6 +44,14 @@ class Nvm
      * the fault-free fast path.
      */
     void attachFaults(FaultInjector *injector) { faults = injector; }
+
+    /**
+     * Attach a trace sink: every accounted word write that lands
+     * records an NvmWrite event carrying the changed-byte mask. Null
+     * (the default) keeps the zero-overhead fast path; the sink is
+     * never charged energy, so tracing cannot perturb simulation.
+     */
+    void attachTrace(TraceSink *sink) { tracer = sink; }
 
     /** Accounted word read. */
     Word readWord(Addr addr);
@@ -113,6 +122,7 @@ class Nvm
     const TechParams &tech;
     EnergySink &sink;
     FaultInjector *faults = nullptr;
+    TraceSink *tracer = nullptr;
     std::vector<uint8_t> mem;
     std::vector<uint32_t> wear; // per word
     uint64_t writes = 0;

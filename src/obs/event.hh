@@ -66,6 +66,12 @@ enum class EventKind : uint8_t
     EccUncorrectable, ///< a0 = word address
     StuckBit,         ///< wear-out stuck-at fault born; a0 = address
 
+    // Checker feed (src/check lockstep invariants). Appended after the
+    // PR 2 kinds so existing binary traces keep their kind numbering.
+    MemAccess, ///< CPU access; a0 = addr, a1 = (is_store << 8) | bytes
+    NvmWrite,  ///< NVM word persisted; a0 = word addr, a1 = changed-byte mask
+    GbfQuery,  ///< GBF probed on fill; a0 = block addr, a1 = 1 if hit
+
     NUM
 };
 

@@ -42,6 +42,9 @@ eventKindName(EventKind kind)
       case EventKind::EccCorrected: return "ecc_corrected";
       case EventKind::EccUncorrectable: return "ecc_uncorrectable";
       case EventKind::StuckBit: return "stuck_bit";
+      case EventKind::MemAccess: return "mem_access";
+      case EventKind::NvmWrite: return "nvm_write";
+      case EventKind::GbfQuery: return "gbf_query";
       default: return "<bad>";
     }
 }
@@ -76,6 +79,7 @@ trackOf(EventKind kind)
       case EventKind::Violation:
       case EventKind::GbfInsert:
       case EventKind::DominanceReset:
+      case EventKind::GbfQuery:
         return {2, "cache"};
       case EventKind::Rename:
       case EventKind::Reclaim:
@@ -90,6 +94,10 @@ trackOf(EventKind kind)
       case EventKind::CpuHalt:
       case EventKind::CpuReset:
         return {5, "cpu"};
+      case EventKind::MemAccess:
+        return {5, "cpu"};
+      case EventKind::NvmWrite:
+        return {7, "nvm"};
       default:
         return {6, "fault"};
     }

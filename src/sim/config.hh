@@ -28,6 +28,23 @@ enum class ArchKind
 
 const char *archKindName(ArchKind kind);
 
+/**
+ * Deliberately seeded renaming bugs (mutation hooks). The checker
+ * acceptance tests flip one on and prove the src/check oracle and
+ * invariant layer catches, shrinks and replays it; production
+ * configurations leave it at None.
+ */
+enum class InjectedBug
+{
+    None,
+    /** Backup flush forgets to return retired mappings to the free
+     *  list: a conservation (leak) violation. */
+    FreeListLeak,
+    /** Renames alias every fresh location onto the first one popped:
+     *  a map-table injectivity violation plus data corruption. */
+    RenameAlias,
+};
+
 /** System configuration (Table 2 defaults). */
 struct SystemConfig
 {
@@ -70,6 +87,10 @@ struct SystemConfig
      *  the recovery protocol falls back to the last complete
      *  backup. */
     bool strictAtomic = false;
+
+    /** Mutation hook for the checker acceptance tests (see the
+     *  InjectedBug enum); None in every real configuration. */
+    InjectedBug injectedBug = InjectedBug::None;
 
     // Flash: 2 MB.
     uint32_t nvmBytes = 2u << 20;

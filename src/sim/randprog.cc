@@ -15,70 +15,108 @@ makeRandomProgram(uint64_t seed, const RandProgParams &params)
     fatal_if((params.arrayWords & (params.arrayWords - 1)) != 0,
              "arrayWords must be a power of two (used as an address "
              "mask)");
+    fatal_if(params.maxBackwardBranches == 0,
+             "maxBackwardBranches must be positive");
     XorShift rng(seed);
-    std::ostringstream os;
 
     const int64_t max_word = params.arrayWords - 1;
     const int64_t max_byte = params.arrayWords * 4 - 1;
 
+    uint64_t iters = static_cast<uint64_t>(
+        rng.range(params.minIterations, params.maxIterations));
+    if (iters == 0)
+        iters = 1;
+
+    // Generate the loop body first: inner loops contribute a known
+    // trip count each, so once the body exists the total number of
+    // taken backward branches per outer iteration is exact and the
+    // outer count can be clamped to honour maxBackwardBranches.
+    std::ostringstream body;
+    uint64_t inner_trips = 0; // sum of inner-loop trip counts
+    int inner_labels = 0;
+    const int max_op = params.maxInnerIterations > 0 ? 8 : 7;
+
+    int body_ops = static_cast<int>(
+        rng.range(params.minBodyOps, params.maxBodyOps));
+    for (int i = 0; i < body_ops; ++i) {
+        int off = static_cast<int>(rng.range(0, max_word)) * 4;
+        switch (rng.range(0, max_op)) {
+          case 0:
+            body << "        ld   r3, " << off << "(r1)\n";
+            break;
+          case 1:
+            body << "        st   r3, " << off << "(r1)\n";
+            break;
+          case 2:
+            body << "        st   r4, " << off << "(r1)\n";
+            break;
+          case 3: // read-modify-write
+            body << "        ld   r5, " << off << "(r1)\n";
+            body << "        addi r5, r5, " << rng.range(-9, 9)
+                 << "\n";
+            body << "        st   r5, " << off << "(r1)\n";
+            break;
+          case 4: // loop-varying address: arr[(i*4 + k) & mask]
+            body << "        slli r6, r2, 2\n";
+            body << "        addi r6, r6, " << rng.range(0, max_word)
+                 << "\n";
+            body << "        andi r6, r6, " << max_word << "\n";
+            body << "        slli r6, r6, 2\n";
+            body << "        add  r6, r6, r1\n";
+            if (rng.range(0, 1))
+                body << "        ld   r4, 0(r6)\n";
+            else
+                body << "        st   r4, 0(r6)\n";
+            break;
+          case 5: // byte traffic
+            body << "        ldb  r5, " << rng.range(0, max_byte)
+                 << "(r1)\n";
+            body << "        stb  r5, " << rng.range(0, max_byte)
+                 << "(r1)\n";
+            break;
+          case 6:
+            body << "        add  r4, r4, r3\n";
+            break;
+          case 7:
+            body << "        xor  r3, r3, r4\n";
+            break;
+          default: { // bounded inner loop (RMW sweep)
+            int64_t k = rng.range(1, params.maxInnerIterations);
+            body << "        li   r7, " << k << "\n";
+            body << "inner" << inner_labels << ":\n";
+            body << "        ld   r5, " << off << "(r1)\n";
+            body << "        addi r5, r5, 1\n";
+            body << "        st   r5, " << off << "(r1)\n";
+            body << "        addi r7, r7, -1\n";
+            body << "        bne  r7, r0, inner" << inner_labels
+                 << "\n";
+            ++inner_labels;
+            inner_trips += static_cast<uint64_t>(k);
+            break;
+          }
+        }
+    }
+
+    // Taken backward branches <= iters * (outer bne + inner trips).
+    uint64_t per_outer = 1 + inner_trips;
+    uint64_t outer_cap = params.maxBackwardBranches / per_outer;
+    if (outer_cap == 0)
+        outer_cap = 1;
+    if (iters > outer_cap)
+        iters = outer_cap;
+
+    std::ostringstream os;
     os << "        .data\n";
     os << "arr:    .rand " << params.arrayWords << " "
        << (seed * 7 + 1) << " 0 65535\n";
     os << "        .text\n";
     os << "main:\n";
     os << "        li   r1, arr\n";
-    os << "        li   r2, "
-       << rng.range(params.minIterations, params.maxIterations)
-       << "   # outer iterations\n";
+    os << "        li   r2, " << iters << "   # outer iterations\n";
     os << "        li   r3, 0\n";
     os << "        li   r4, 1\n";
     os << "outer:\n";
-
-    int body = static_cast<int>(
-        rng.range(params.minBodyOps, params.maxBodyOps));
-    for (int i = 0; i < body; ++i) {
-        int off = static_cast<int>(rng.range(0, max_word)) * 4;
-        switch (rng.range(0, 7)) {
-          case 0:
-            os << "        ld   r3, " << off << "(r1)\n";
-            break;
-          case 1:
-            os << "        st   r3, " << off << "(r1)\n";
-            break;
-          case 2:
-            os << "        st   r4, " << off << "(r1)\n";
-            break;
-          case 3: // read-modify-write
-            os << "        ld   r5, " << off << "(r1)\n";
-            os << "        addi r5, r5, " << rng.range(-9, 9) << "\n";
-            os << "        st   r5, " << off << "(r1)\n";
-            break;
-          case 4: // loop-varying address: arr[(i*4 + k) & mask]
-            os << "        slli r6, r2, 2\n";
-            os << "        addi r6, r6, " << rng.range(0, max_word)
-               << "\n";
-            os << "        andi r6, r6, " << max_word << "\n";
-            os << "        slli r6, r6, 2\n";
-            os << "        add  r6, r6, r1\n";
-            if (rng.range(0, 1))
-                os << "        ld   r4, 0(r6)\n";
-            else
-                os << "        st   r4, 0(r6)\n";
-            break;
-          case 5: // byte traffic
-            os << "        ldb  r5, " << rng.range(0, max_byte)
-               << "(r1)\n";
-            os << "        stb  r5, " << rng.range(0, max_byte)
-               << "(r1)\n";
-            break;
-          case 6:
-            os << "        add  r4, r4, r3\n";
-            break;
-          default:
-            os << "        xor  r3, r3, r4\n";
-            break;
-        }
-    }
+    os << body.str();
     os << "        addi r2, r2, -1\n";
     os << "        bne  r2, r0, outer\n";
     os << "        halt\n";

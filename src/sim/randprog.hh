@@ -29,11 +29,31 @@ struct RandProgParams
     /** Random operations per loop body. */
     uint32_t minBodyOps = 15;
     uint32_t maxBodyOps = 40;
+
+    /** Trip-count cap for generated inner loops; 0 disables the
+     *  inner-loop operation entirely. */
+    uint32_t maxInnerIterations = 6;
+
+    /**
+     * Hard bound on *taken backward branches* across the whole run.
+     * Every loop the generator emits counts down an immutable trip
+     * count, so total taken backward branches is computable at
+     * generation time; the outer iteration count is clamped so the
+     * product stays within this bound. Termination is therefore
+     * guaranteed by construction, with the bound a config knob
+     * rather than a hard-coded constant.
+     */
+    uint64_t maxBackwardBranches = 1u << 16;
 };
 
 /**
  * Generate a deterministic random iisa program. The same seed always
  * yields the same source (and the same `.rand` data contents).
+ *
+ * Generated programs always terminate: the only backward branches
+ * are counted-down outer/inner loops whose counters no other
+ * instruction writes, and the aggregate taken-branch count is
+ * clamped to params.maxBackwardBranches.
  */
 std::string makeRandomProgram(uint64_t seed,
                               const RandProgParams &params = {});

@@ -157,6 +157,7 @@ Simulator::attachTrace(TraceSink *sink_)
     arch->attachTrace(sink_);
     cpu.attachTrace(sink_);
     injector.attachTrace(sink_);
+    nvm.attachTrace(sink_);
 }
 
 // ----------------------------------------------------------------------

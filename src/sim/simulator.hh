@@ -181,6 +181,10 @@ class Simulator : public EnergySink, public BackupHost
     IntermittentArch &archRef() { return *arch; }
     const Capacitor &capacitorRef() const { return cap; }
 
+    /** The simulated core (the differential oracle diffs its final
+     *  register file against the reference interpreter's). */
+    const Cpu &cpuRef() const { return cpu; }
+
     /** Attach an event observer (optional; call before run()). */
     void attachObserver(SimObserver *obs) { observer = obs; }
 

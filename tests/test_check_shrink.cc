@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the failing-case pipeline: `.repro` round-tripping, the
+ * delta-debugging shrinker, and the end-to-end acceptance story --
+ * a seeded bug is caught by the checked harness, shrunk to a minimal
+ * case, saved, reloaded, and still fails on replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "check/runner.hh"
+#include "check/shrink.hh"
+#include "sim/randprog.hh"
+
+namespace nvmr
+{
+namespace
+{
+
+CheckCase
+fullyPopulatedCase()
+{
+    CheckCase c;
+    c.name = "roundtrip";
+    c.arch = ArchKind::Hoop;
+    c.policy = PolicyKind::Watchdog;
+    c.farads = 500e-6;
+    c.byteLbf = true;
+    c.injectedBug = InjectedBug::RenameAlias;
+    c.traceKind = TraceKind::Wind;
+    c.traceSeed = 123;
+    c.traceMeanMw = 3.25;
+    c.maxCycles = 12345678;
+    c.faults.enabled = true;
+    c.faults.seed = 9;
+    c.faults.crashAtPersist = 77;
+    c.faults.crashAtCycle = 88;
+    c.faults.crashPersists = {5, 6, 9000};
+    c.faults.crashCycles = {7};
+    c.faults.transientBitErrorRate = 2e-5;
+    c.faults.doubleBitFraction = 0.125;
+    c.faults.maxReadRetries = 6;
+    c.programText = "main:\n        li   r1, 0\n        halt\n";
+    c.programSeed = 4;
+    return c;
+}
+
+TEST(Repro, RoundTripPreservesEveryField)
+{
+    CheckCase c = fullyPopulatedCase();
+    std::istringstream is(formatRepro(c));
+    CheckCase back;
+    std::string error;
+    ASSERT_TRUE(parseRepro(is, back, error)) << error;
+
+    EXPECT_EQ(back.name, c.name);
+    EXPECT_EQ(back.arch, c.arch);
+    EXPECT_EQ(back.policy, c.policy);
+    EXPECT_EQ(back.farads, c.farads);
+    EXPECT_EQ(back.byteLbf, c.byteLbf);
+    EXPECT_EQ(back.injectedBug, c.injectedBug);
+    EXPECT_EQ(back.traceKind, c.traceKind);
+    EXPECT_EQ(back.traceSeed, c.traceSeed);
+    EXPECT_EQ(back.traceMeanMw, c.traceMeanMw);
+    EXPECT_EQ(back.maxCycles, c.maxCycles);
+    EXPECT_EQ(back.faults.enabled, c.faults.enabled);
+    EXPECT_EQ(back.faults.seed, c.faults.seed);
+    EXPECT_EQ(back.faults.crashAtPersist, c.faults.crashAtPersist);
+    EXPECT_EQ(back.faults.crashAtCycle, c.faults.crashAtCycle);
+    EXPECT_EQ(back.faults.crashPersists, c.faults.crashPersists);
+    EXPECT_EQ(back.faults.crashCycles, c.faults.crashCycles);
+    EXPECT_EQ(back.faults.transientBitErrorRate,
+              c.faults.transientBitErrorRate);
+    EXPECT_EQ(back.faults.doubleBitFraction,
+              c.faults.doubleBitFraction);
+    EXPECT_EQ(back.faults.maxReadRetries, c.faults.maxReadRetries);
+    EXPECT_EQ(back.programText, c.programText);
+    EXPECT_EQ(back.programSeed, c.programSeed);
+}
+
+TEST(Repro, DefaultsAreOmittedButRestored)
+{
+    CheckCase c; // all defaults
+    c.programText = "main:\n        halt\n";
+    std::string text = formatRepro(c);
+    EXPECT_EQ(text.find("injected_bug"), std::string::npos);
+    EXPECT_EQ(text.find("crash_at_persist"), std::string::npos);
+    EXPECT_EQ(text.find("double_bit_fraction"), std::string::npos);
+
+    std::istringstream is(text);
+    CheckCase back;
+    std::string error;
+    ASSERT_TRUE(parseRepro(is, back, error)) << error;
+    EXPECT_EQ(back.injectedBug, InjectedBug::None);
+    EXPECT_EQ(back.faults.doubleBitFraction, 0.05);
+    EXPECT_EQ(back.faults.maxReadRetries, 2u);
+}
+
+TEST(Repro, UnknownKeyAndBadHeaderRejected)
+{
+    CheckCase out;
+    std::string error;
+
+    std::istringstream bad_key(
+        "# nvmr-repro-v1\nbogus_key 1\nprogram 1\nmain: halt\n");
+    EXPECT_FALSE(parseRepro(bad_key, out, error));
+    EXPECT_NE(error.find("unknown key"), std::string::npos);
+
+    std::istringstream bad_header("# not-a-repro\n");
+    EXPECT_FALSE(parseRepro(bad_header, out, error));
+
+    std::istringstream truncated(
+        "# nvmr-repro-v1\nname x\nprogram 5\nmain: halt\n");
+    EXPECT_FALSE(parseRepro(truncated, out, error));
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(Shrink, CleanCaseIsReportedNotShrunk)
+{
+    CheckCase c;
+    c.name = "clean";
+    c.arch = ArchKind::Nvmr;
+    c.policy = PolicyKind::Jit;
+    c.farads = 0.1;
+    c.traceSeed = 40011;
+    c.programText = makeRandomProgram(11);
+    c.programSeed = 11;
+    ShrinkResult r = shrinkCase(c, /*max_runs=*/10);
+    EXPECT_FALSE(r.verifiedFailing);
+    EXPECT_GE(r.runsUsed, 1u);
+}
+
+/**
+ * The acceptance-criteria story: seed a rename-aliasing bug, let the
+ * checked harness catch it, shrink away a decoy crash schedule and
+ * most of the program, save the minimal `.repro`, reload it, and
+ * confirm the minimized case still fails.
+ */
+TEST(Shrink, SeededBugShrinksToMinimalReplayableRepro)
+{
+    CheckCase c;
+    c.name = "alias";
+    c.arch = ArchKind::Nvmr;
+    c.policy = PolicyKind::Jit;
+    c.farads = 0.1;
+    c.injectedBug = InjectedBug::RenameAlias;
+    c.traceSeed = 40001;
+    c.programText = makeRandomProgram(1);
+    c.programSeed = 1;
+    // Decoy crash points the shrinker must discover are irrelevant:
+    // the aliasing bug corrupts state with or without power failures.
+    c.faults.enabled = true;
+    c.faults.seed = 1;
+    c.faults.crashPersists = {5000, 9000};
+    c.faults.crashCycles = {400000};
+
+    ASSERT_FALSE(runChecked(c).clean());
+
+    ShrinkResult r = shrinkCase(c);
+    ASSERT_TRUE(r.verifiedFailing);
+    EXPECT_TRUE(r.minimized.faults.crashPersists.empty());
+    EXPECT_TRUE(r.minimized.faults.crashCycles.empty());
+    EXPECT_EQ(r.minimized.faults.crashAtPersist, 0u);
+    EXPECT_EQ(r.minimized.faults.crashAtCycle, 0u);
+    EXPECT_LT(r.minimized.programText.size(), c.programText.size());
+    EXPECT_EQ(r.minimized.name, "alias-min");
+    EXPECT_GT(r.runsUsed, 1u);
+
+    const char *path = "test_check_shrink_tmp.repro";
+    ASSERT_TRUE(saveRepro(path, r.minimized));
+    CheckCase reloaded;
+    std::string error;
+    ASSERT_TRUE(loadRepro(path, reloaded, error)) << error;
+    std::remove(path);
+
+    CheckOutcome replay = runChecked(reloaded);
+    ASSERT_FALSE(replay.clean());
+    bool alias = false;
+    for (const auto &v : replay.violations)
+        alias |= v.checker == "rename_aliasing";
+    EXPECT_TRUE(alias) << replay.detail();
+}
+
+} // namespace
+} // namespace nvmr

@@ -52,11 +52,43 @@ TEST(RandProg, IterationBoundsHonoured)
     params.maxIterations = 5;
     params.minBodyOps = 10;
     params.maxBodyOps = 10;
+    params.maxInnerIterations = 0; // flat body: bound is exact
     Program prog = assemble("rp", makeRandomProgram(11, params));
     GoldenResult g = runContinuous(prog);
     EXPECT_TRUE(g.halted);
     // 5 iterations x (<= 10 ops x <= 6 instructions) + prologue.
     EXPECT_LT(g.instructions, 5u * 10u * 6u + 20u);
+}
+
+TEST(RandProg, BackwardBranchBoundClampsIterations)
+{
+    // A tiny taken-backward-branch budget must clamp the outer loop
+    // (and with it total executed instructions), whatever the seed.
+    RandProgParams params;
+    params.minIterations = 1000;
+    params.maxIterations = 1000;
+    params.maxBackwardBranches = 50;
+    for (uint64_t seed = 40; seed < 48; ++seed) {
+        Program prog =
+            assemble("rp", makeRandomProgram(seed, params));
+        GoldenResult g = runContinuous(prog);
+        EXPECT_TRUE(g.halted) << seed;
+        // Worst case: 50 taken backward branches, each loop level
+        // re-runs a <=40-op body of <=7 instructions, plus prologue.
+        EXPECT_LT(g.instructions, 51u * 40u * 7u + 20u) << seed;
+    }
+}
+
+TEST(RandProg, InnerLoopsStillTerminate)
+{
+    RandProgParams params;
+    params.maxInnerIterations = 6;
+    for (uint64_t seed = 900; seed < 905; ++seed) {
+        Program prog =
+            assemble("rp", makeRandomProgram(seed, params));
+        GoldenResult g = runContinuous(prog);
+        EXPECT_TRUE(g.halted) << seed;
+    }
 }
 
 TEST(RandProg, ProgramsAreIntermittentSafe)

@@ -4,13 +4,19 @@
  * them intermittently across every architecture, policy and a grid
  * of capacitor sizes, comparing each final NVM state against the
  * continuously-powered execution. Any divergence (or stuck run)
- * prints a full repro recipe and stops.
+ * prints a one-line repro command and stops with a non-zero exit.
  *
  *     nvmr_fuzz                 # 100 iterations from seed 1
  *     nvmr_fuzz 2000            # more iterations
  *     nvmr_fuzz 500 12345       # iterations + base seed
  *     nvmr_fuzz --faults 500    # also randomize crash points and
  *                               # correctable NVM bit-error rates
+ *     nvmr_fuzz --oracle 500    # run every case under the golden
+ *                               # oracle + lockstep invariant checker
+ *                               # (src/check) instead of the plain
+ *                               # golden-image comparison
+ *     nvmr_fuzz --one SEED IDX  # re-run one (seed, case) pair -- the
+ *                               # command a failure prints
  */
 
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "check/runner.hh"
 #include "common/log.hh"
 #include "common/xorshift.hh"
 #include "isa/assembler.hh"
@@ -37,6 +44,23 @@ struct FuzzCase
     double farads;
     bool byteLbf = false;
 };
+
+/** The fixed case grid; --one indexes into it 1-based. */
+const FuzzCase kCases[] = {
+    {ArchKind::Clank, PolicyKind::Jit, 0.1},
+    {ArchKind::Clank, PolicyKind::Watchdog, 500e-6},
+    {ArchKind::ClankOriginal, PolicyKind::Jit, 0.1},
+    {ArchKind::ClankOriginal, PolicyKind::Watchdog, 500e-6},
+    {ArchKind::Nvmr, PolicyKind::Jit, 0.1},
+    {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6},
+    {ArchKind::Nvmr, PolicyKind::Jit, 500e-6},
+    {ArchKind::Hoop, PolicyKind::Jit, 0.1},
+    {ArchKind::Hoop, PolicyKind::Watchdog, 500e-6},
+    {ArchKind::Ideal, PolicyKind::Jit, 0.1},
+    {ArchKind::Clank, PolicyKind::Watchdog, 500e-6, true},
+    {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6, true},
+};
+constexpr size_t kNumCases = sizeof(kCases) / sizeof(kCases[0]);
 
 /**
  * Derive a random-but-reproducible fault load for one (seed, case)
@@ -64,10 +88,71 @@ randomFaults(uint64_t seed, uint64_t case_idx)
     return fc;
 }
 
-bool
-runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
-        const FaultConfig *faults, ManifestWriter *manifest)
+/** The one-line command that replays exactly this (seed, case). */
+void
+printReproLine(uint64_t seed, uint64_t case_idx, const FuzzCase &c,
+               bool faults_mode, bool oracle_mode)
 {
+    std::printf("repro: nvmr_fuzz%s%s --one %llu %llu   # %s/%s at "
+                "%g F%s\n",
+                faults_mode ? " --faults" : "",
+                oracle_mode ? " --oracle" : "",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(case_idx),
+                archKindName(c.arch), policyKindName(c.policy),
+                c.farads, c.byteLbf ? " (byte LBF)" : "");
+}
+
+/** Map one fuzz case onto the src/check harness description. */
+CheckCase
+makeCheckCase(const Program &, const std::string &text, uint64_t seed,
+              const FuzzCase &c, const FaultConfig *faults)
+{
+    CheckCase cc;
+    cc.name = "fuzz" + std::to_string(seed);
+    cc.arch = c.arch;
+    cc.policy = c.policy;
+    cc.farads = c.farads;
+    cc.byteLbf = c.byteLbf;
+    cc.traceSeed = 40000 + seed;
+    cc.programText = text;
+    cc.programSeed = seed;
+    if (faults)
+        cc.faults = *faults;
+    return cc;
+}
+
+bool
+runCase(const Program &prog, const std::string &text, uint64_t seed,
+        uint64_t case_idx, const FuzzCase &c,
+        const FaultConfig *faults, bool oracle_mode,
+        ManifestWriter *manifest)
+{
+    // The ideal architecture is only safe under perfect JIT.
+    if (c.arch == ArchKind::Ideal && c.policy != PolicyKind::Jit)
+        return true;
+
+    if (oracle_mode) {
+        // Full checked harness: lockstep invariants + oracle diff.
+        CheckCase cc = makeCheckCase(prog, text, seed, c, faults);
+        CheckOutcome out = runChecked(cc);
+        if (out.clean())
+            return true;
+        if (manifest)
+            manifest->addRun(out.run);
+        std::printf("\nFAILURE: seed %llu on %s/%s at %g F: %s\n",
+                    static_cast<unsigned long long>(seed),
+                    archKindName(c.arch), policyKindName(c.policy),
+                    c.farads, out.describe().c_str());
+        std::fputs(out.detail().c_str(), stdout);
+        printReproLine(seed, case_idx, c, faults != nullptr, true);
+        if (saveRepro("nvmr_fuzz_failure.repro", cc))
+            std::printf("also saved nvmr_fuzz_failure.repro; shrink "
+                        "with: nvmr_diff --shrink "
+                        "nvmr_fuzz_failure.repro\n");
+        return false;
+    }
+
     // Small capacitors need the co-sized platform (atomic backups
     // must fit one charge; see SystemConfig::smallPlatform).
     SystemConfig cfg = c.farads < 1e-3 ? SystemConfig::smallPlatform()
@@ -82,9 +167,6 @@ runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
     spec.kind = c.policy;
     if (c.farads < 1e-3)
         spec.watchdogPeriod = 300;
-    // The ideal architecture is only safe under perfect JIT.
-    if (c.arch == ArchKind::Ideal && c.policy != PolicyKind::Jit)
-        return true;
 
     auto policy = makePolicy(spec);
     HarvestTrace trace(TraceKind::Rf, 40000 + seed, 7.0);
@@ -100,21 +182,21 @@ runCase(const Program &prog, uint64_t seed, const FuzzCase &c,
     // of thousands of runs and the interesting ones are the repros.
     if (manifest)
         manifest->addRun(r);
-    std::printf(
-        "\nFAILURE: seed %llu on %s/%s at %g F: %s\n"
-        "repro: regenerate with makeRandomProgram(%llu) and rerun\n",
-        static_cast<unsigned long long>(seed), archKindName(c.arch),
-        policyKindName(c.policy), c.farads,
-        r.completed ? "final state diverged" : "did not complete",
-        static_cast<unsigned long long>(seed));
+    std::printf("\nFAILURE: seed %llu on %s/%s at %g F: %s\n",
+                static_cast<unsigned long long>(seed),
+                archKindName(c.arch), policyKindName(c.policy),
+                c.farads,
+                r.completed ? "final state diverged"
+                            : "did not complete");
     if (faults)
-        std::printf("repro faults: crashAtPersist=%llu "
-                    "crashAtCycle=%llu transientBitErrorRate=%g\n",
+        std::printf("faults: crashAtPersist=%llu crashAtCycle=%llu "
+                    "transientBitErrorRate=%g\n",
                     static_cast<unsigned long long>(
                         faults->crashAtPersist),
                     static_cast<unsigned long long>(
                         faults->crashAtCycle),
                     faults->transientBitErrorRate);
+    printReproLine(seed, case_idx, c, faults != nullptr, false);
     return false;
 }
 
@@ -125,12 +207,24 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     bool faults_mode = false;
+    bool oracle_mode = false;
+    bool one_mode = false;
+    uint64_t one_seed = 0;
+    uint64_t one_case = 0;
     std::string stats_json_path;
     uint64_t positional[2] = {100, 1};
     int npos = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--faults") == 0) {
             faults_mode = true;
+        } else if (std::strcmp(argv[i], "--oracle") == 0) {
+            oracle_mode = true;
+        } else if (std::strcmp(argv[i], "--one") == 0) {
+            if (i + 2 >= argc)
+                fatal("--one needs SEED and CASE_IDX");
+            one_mode = true;
+            one_seed = std::strtoull(argv[++i], nullptr, 10);
+            one_case = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--stats-json") == 0) {
             if (i + 1 >= argc)
                 fatal("missing value for --stats-json");
@@ -142,20 +236,23 @@ main(int argc, char **argv)
     uint64_t iterations = positional[0];
     uint64_t base_seed = positional[1];
 
-    const FuzzCase cases[] = {
-        {ArchKind::Clank, PolicyKind::Jit, 0.1},
-        {ArchKind::Clank, PolicyKind::Watchdog, 500e-6},
-        {ArchKind::ClankOriginal, PolicyKind::Jit, 0.1},
-        {ArchKind::ClankOriginal, PolicyKind::Watchdog, 500e-6},
-        {ArchKind::Nvmr, PolicyKind::Jit, 0.1},
-        {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6},
-        {ArchKind::Nvmr, PolicyKind::Jit, 500e-6},
-        {ArchKind::Hoop, PolicyKind::Jit, 0.1},
-        {ArchKind::Hoop, PolicyKind::Watchdog, 500e-6},
-        {ArchKind::Ideal, PolicyKind::Jit, 0.1},
-        {ArchKind::Clank, PolicyKind::Watchdog, 500e-6, true},
-        {ArchKind::Nvmr, PolicyKind::Watchdog, 500e-6, true},
-    };
+    if (one_mode) {
+        if (one_case < 1 || one_case > kNumCases)
+            fatal("case index out of range (1..",
+                  static_cast<uint64_t>(kNumCases), ")");
+        std::string text = makeRandomProgram(one_seed);
+        Program prog =
+            assemble("fuzz" + std::to_string(one_seed), text);
+        const FuzzCase &c = kCases[one_case - 1];
+        FaultConfig fc;
+        if (faults_mode)
+            fc = randomFaults(one_seed, one_case);
+        bool ok = runCase(prog, text, one_seed, one_case, c,
+                          faults_mode ? &fc : nullptr, oracle_mode,
+                          nullptr);
+        std::printf(ok ? "case clean\n" : "case FAILED\n");
+        return ok ? 0 : 1;
+    }
 
     ManifestWriter manifest("nvmr_fuzz");
     ManifestWriter *mptr =
@@ -168,6 +265,7 @@ main(int argc, char **argv)
         manifest.addExtra("base_seed",
                           static_cast<double>(base_seed));
         manifest.addExtra("faults_mode", faults_mode ? 1.0 : 0.0);
+        manifest.addExtra("oracle_mode", oracle_mode ? 1.0 : 0.0);
         manifest.addExtra("runs", static_cast<double>(runs));
         manifest.addExtra("result",
                           clean ? "no divergence" : "divergence");
@@ -177,10 +275,11 @@ main(int argc, char **argv)
     uint64_t runs = 0;
     for (uint64_t i = 0; i < iterations; ++i) {
         uint64_t seed = base_seed + i;
-        Program prog = assemble("fuzz" + std::to_string(seed),
-                                makeRandomProgram(seed));
+        std::string text = makeRandomProgram(seed);
+        Program prog =
+            assemble("fuzz" + std::to_string(seed), text);
         uint64_t case_idx = 0;
-        for (const FuzzCase &c : cases) {
+        for (const FuzzCase &c : kCases) {
             ++case_idx;
             // Ideal relies on the perfect-JIT assumption that power
             // never fails unexpectedly; injected crashes break it.
@@ -189,7 +288,8 @@ main(int argc, char **argv)
             FaultConfig fc;
             if (faults_mode)
                 fc = randomFaults(seed, case_idx);
-            if (!runCase(prog, seed, c, faults_mode ? &fc : nullptr,
+            if (!runCase(prog, text, seed, case_idx, c,
+                         faults_mode ? &fc : nullptr, oracle_mode,
                          mptr)) {
                 writeManifest(runs, false);
                 return 1;
