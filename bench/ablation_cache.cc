@@ -12,9 +12,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     auto traces = HarvestTrace::standardSet(5);
     SystemConfig banner;
     printBanner("Ablation: data cache size (JIT)", banner,

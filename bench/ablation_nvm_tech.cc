@@ -13,9 +13,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     auto traces = HarvestTrace::standardSet(5);
     SystemConfig banner;
     printBanner("Ablation: NVM technology (Flash vs FRAM, JIT)",

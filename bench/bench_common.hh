@@ -18,11 +18,27 @@
 #include "common/log.hh"
 #include "common/table.hh"
 #include "obs/json.hh"
+#include "par/par.hh"
 #include "sim/experiment.hh"
 #include "workloads/workloads.hh"
 
 namespace nvmr
 {
+
+/**
+ * Wire a harness's `--jobs N` flag into the parallel engine. Every
+ * harness runs its cells through runOnTraces/runAveraged, which fan
+ * out across par::parallelFor workers; without the flag the count
+ * comes from NVMR_JOBS or the hardware. Results are bit-identical
+ * for every worker count (docs/performance.md).
+ */
+inline void
+applyJobsFlag(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            par::setGlobalJobs(par::parseJobsValue(argv[i + 1]));
+}
 
 /** The paper's reporting order of benchmarks (Figures 10-14). */
 inline std::vector<std::string>

@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("nvmr_core", argc, argv,
                       "BENCH_nvmr_core.json");
 

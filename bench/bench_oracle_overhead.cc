@@ -111,6 +111,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("bench_oracle_overhead", argc, argv,
                       "BENCH_oracle_overhead.json");
 

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Simulator-throughput record: simulated-instructions/sec on one
+ * worker and cells/sec for a fixed campaign grid, serial vs parallel,
+ * exported as BENCH_sim_throughput.json through the BenchRecorder.
+ * This is the trajectory the parallel engine and the hot-path work
+ * are regressed against (docs/performance.md).
+ *
+ *     bench_sim_throughput                 # writes BENCH_sim_throughput.json
+ *     bench_sim_throughput --jobs 8
+ *     bench_sim_throughput --stats-json out.json
+ */
+
+#include <chrono>
+
+#include "bench_common.hh"
+#include "par/par.hh"
+
+using namespace nvmr;
+
+namespace
+{
+
+struct Cell
+{
+    const Program *prog;
+    ArchKind arch;
+    const HarvestTrace *trace;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double>>(steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    applyJobsFlag(argc, argv);
+    BenchRecorder rec("sim_throughput", argc, argv,
+                      "BENCH_sim_throughput.json");
+    unsigned jobs = par::defaultJobs();
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--jobs") == 0)
+            jobs = par::parseJobsValue(argv[i + 1]);
+
+    SystemConfig cfg;
+    PolicySpec jit;
+    auto traces = HarvestTrace::standardSet(4);
+    const std::vector<std::string> names = {"hist", "qsort",
+                                            "dijkstra"};
+    const std::vector<ArchKind> archs = {
+        ArchKind::Clank, ArchKind::Nvmr, ArchKind::Hoop};
+
+    std::vector<Program> progs;
+    for (const std::string &name : names)
+        progs.push_back(assembleWorkload(name));
+
+    std::vector<Cell> cells;
+    for (const Program &prog : progs)
+        for (ArchKind arch : archs)
+            for (const HarvestTrace &trace : traces)
+                cells.push_back({&prog, arch, &trace});
+
+    auto runPass = [&](unsigned pass_jobs,
+                       std::vector<uint64_t> &instret) {
+        instret.assign(cells.size(), 0);
+        auto t0 = std::chrono::steady_clock::now();
+        par::parallelFor(
+            cells.size(),
+            [&](size_t i) {
+                const Cell &cell = cells[i];
+                auto pol = makePolicy(jit);
+                RunOptions opts;
+                opts.validate = false;
+                Simulator sim(*cell.prog, cell.arch, cfg, *pol,
+                              *cell.trace, opts);
+                RunResult r = sim.run();
+                fatal_if(!r.completed, "throughput cell ", i,
+                         " did not complete");
+                instret[i] = r.instructions;
+            },
+            pass_jobs);
+        return secondsSince(t0);
+    };
+
+    std::vector<uint64_t> warm, serial, parallel;
+    runPass(1, warm); // warm caches/allocators; untimed pass
+    double serial_s = runPass(1, serial);
+    double parallel_s = runPass(jobs, parallel);
+    fatal_if(serial != parallel,
+             "parallel pass diverged from the serial pass");
+
+    double instructions = 0;
+    for (uint64_t n : serial)
+        instructions += static_cast<double>(n);
+    double n_cells = static_cast<double>(cells.size());
+    double ips = instructions / serial_s;
+    double serial_cps = n_cells / serial_s;
+    double par_cps = n_cells / parallel_s;
+
+    rec.add("jobs", static_cast<double>(jobs));
+    rec.add("host_hw_concurrency",
+            static_cast<double>(par::hardwareJobs()));
+    rec.add("cells", n_cells);
+    rec.add("simulated_instructions", instructions);
+    rec.add("single_thread_instructions_per_sec", ips, "instr/s");
+    rec.add("single_thread_cells_per_sec", serial_cps, "cells/s");
+    rec.add("parallel_cells_per_sec", par_cps, "cells/s");
+    rec.add("parallel_speedup", par_cps / serial_cps, "x");
+    rec.write();
+
+    std::printf("sim throughput: %.0f instr/s single-thread, "
+                "%.2f cells/s serial, %.2f cells/s at --jobs %u "
+                "(%.2fx), %zu cells, host has %u cores\n",
+                ips, serial_cps, par_cps, jobs, par_cps / serial_cps,
+                cells.size(), par::hardwareJobs());
+    return 0;
+}

@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("fig10_energy_saved", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();

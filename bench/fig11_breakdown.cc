@@ -16,9 +16,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();
     printBanner(

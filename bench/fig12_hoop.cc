@@ -15,9 +15,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();
     printBanner("Figure 12: % energy saved, NvMR vs HOOP", cfg,

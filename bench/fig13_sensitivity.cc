@@ -149,6 +149,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     SystemConfig banner_cfg;
     printBanner("Figure 13: sensitivity studies (JIT)", banner_cfg,
                 static_cast<int>(sweepTraces().size()));

@@ -71,6 +71,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("fig14_reclaim", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet(5);

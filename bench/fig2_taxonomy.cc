@@ -17,9 +17,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet(5);
     printBanner("Figure 2: backup-scheme taxonomy, total energy (uJ) "

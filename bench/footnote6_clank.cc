@@ -13,9 +13,10 @@
 using namespace nvmr;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet(5);
     printBanner("Footnote 6: our-version Clank vs original Clank "

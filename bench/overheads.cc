@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("overheads", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();

@@ -16,6 +16,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    applyJobsFlag(argc, argv);
     BenchRecorder rec("table3_violations", argc, argv);
     SystemConfig cfg;
     auto traces = HarvestTrace::standardSet();

@@ -95,13 +95,27 @@ CacheLine &
 IntermittentArch::access(Addr addr, uint32_t nbytes, bool is_store)
 {
     Addr block = cache.blockAlign(addr);
-    CacheLine *line = cache.lookup(block);
-    if (!line) {
-        line = &handleMiss(block);
-    } else if (tracer) {
-        tracer->record(EventKind::CacheHit, block);
+    CacheLine *line;
+    if (lbfTracking) {
+        // Dominance-tracking hot path: the SRAM lookup and the LBF
+        // state update are charged in one batched sink call and the
+        // span touch is inlined, so a cache hit costs no virtual
+        // dispatch.
+        sink.consume(cfg.tech.cacheAccessNj + cfg.tech.bloomNj);
+        line = cache.lookupUncharged(block);
+        if (!line)
+            line = &handleMiss(block);
+        else if (tracer)
+            tracer->record(EventKind::CacheHit, block);
+        line->touchSpan(addr - block, nbytes, is_store);
+    } else {
+        line = cache.lookup(block);
+        if (!line)
+            line = &handleMiss(block);
+        else if (tracer)
+            tracer->record(EventKind::CacheHit, block);
+        onAccess(*line, addr - block, nbytes, is_store);
     }
-    onAccess(*line, addr - block, nbytes, is_store);
     if (tracer)
         tracer->record(EventKind::MemAccess, addr,
                        (static_cast<uint64_t>(is_store) << 8) | nbytes);
@@ -128,7 +142,7 @@ IntermittentArch::storeWord(Addr addr, Word value)
     CacheLine &line = access(addr, kWordBytes, true);
     uint32_t wi = cache.wordIndex(addr);
     line.data[wi] = value;
-    line.dirty = true;
+    line.markDirty();
     line.dirtyWordMask |= 1u << wi;
 }
 
@@ -154,7 +168,7 @@ IntermittentArch::storeByte(Addr addr, uint8_t value)
     unsigned shift = 8 * (addr & 3u);
     line.data[wi] = (line.data[wi] & ~(0xffu << shift)) |
                     (static_cast<Word>(value) << shift);
-    line.dirty = true;
+    line.markDirty();
     line.dirtyWordMask |= 1u << wi;
 }
 
@@ -417,6 +431,7 @@ DominanceArch::DominanceArch(const SystemConfig &config, Nvm &nvm_,
     : IntermittentArch(config, nvm_, snk),
       gbf(config.gbfBits, config.gbfHashes, config.tech, snk)
 {
+    lbfTracking = true;
 }
 
 void
@@ -433,7 +448,16 @@ DominanceArch::afterFill(CacheLine &line)
     // Section 4.5: a GBF hit means the block was read-dominated when
     // it was last evicted in this code section; conservatively mark
     // every word read-dominated.
-    bool hit = gbf.maybeContains(line.blockAddr);
+    bool hit;
+    if (gbf.singleWord()) {
+        // Hash the lanes once per cache residency: the eviction-path
+        // insert reuses the mask.
+        line.gbfMask = gbf.laneMask(line.blockAddr);
+        hit = gbf.maybeContainsMask(line.gbfMask);
+    } else {
+        line.gbfMask = 0;
+        hit = gbf.maybeContains(line.blockAddr);
+    }
     if (tracer)
         tracer->record(EventKind::GbfQuery, line.blockAddr, hit);
     if (hit)
@@ -445,7 +469,10 @@ DominanceArch::evictLine(CacheLine &line)
 {
     bool read_dom = line.compositeReadDominated();
     if (read_dom) {
-        gbf.insert(line.blockAddr);
+        if (line.gbfMask)
+            gbf.insertMask(line.gbfMask);
+        else
+            gbf.insert(line.blockAddr);
         if (tracer)
             tracer->record(EventKind::GbfInsert, line.blockAddr);
     }
@@ -465,7 +492,7 @@ void
 DominanceArch::normalWriteback(CacheLine &line)
 {
     writeBlockTo(line.blockAddr, line);
-    line.dirty = false;
+    line.markClean();
 }
 
 void

@@ -225,6 +225,11 @@ class IntermittentArch : public DataPort
     FaultInjector *faults = nullptr;
     TraceSink *tracer = nullptr;
 
+    /** True when onAccess is DominanceArch's LBF span touch: access()
+     *  then inlines it (batched energy charge, no virtual dispatch on
+     *  the hit path). Set once by the DominanceArch constructor. */
+    bool lbfTracking = false;
+
     /**
      * One half of the double-buffered NVM backup region. The last
      * word persisted for a backup acts as its sequence-numbered

@@ -43,7 +43,7 @@ ClankArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
     cache.forEachLine([&](CacheLine &line) {
         if (line.valid && line.dirty) {
             journaledWriteBlock(line.blockAddr, line);
-            line.dirty = false;
+            line.markClean();
             line.dirtyWordMask = 0;
         }
     });

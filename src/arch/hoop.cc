@@ -84,10 +84,14 @@ HoopArch::evictLine(CacheLine &line)
         }
         sink.consume(kOopBufferTouchNj);
         oopBuffer.emplace_back(addr, line.data[w]);
+        if (line.blockAddr != bufLastBlock) {
+            ++bufGroups;
+            bufLastBlock = line.blockAddr;
+        }
         if (tracer)
             tracer->record(EventKind::OopAppend, addr);
     }
-    line.dirty = false;
+    line.markClean();
     line.dirtyWordMask = 0;
 }
 
@@ -96,26 +100,24 @@ HoopArch::packedFlushWords() const
 {
     // Pack word updates into slices: one header word per run of
     // same-block updates plus one word per update. No temporal
-    // deduplication -- the buffer is a log.
-    uint64_t words = 0;
-    uint64_t groups = 0;
-    Addr prev_block = kNoAddr;
-    auto visit = [&](Addr addr) {
-        Addr block = addr & ~(cfg.cache.blockBytes - 1);
-        if (block != prev_block) {
-            ++groups;
-            prev_block = block;
-        }
-        ++words;
-    };
-    for (const auto &[addr, val] : oopBuffer)
-        visit(addr);
-    cache.forEachLine([&](const CacheLine &line) {
-        if (!line.valid || !line.dirty)
-            return;
-        for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
-            visit(line.blockAddr + w * kWordBytes);
-    });
+    // deduplication -- the buffer is a log. The buffer's run count is
+    // maintained incrementally (bufGroups/bufLastBlock), so only the
+    // dirty cache lines -- which flush after the buffer and continue
+    // its run sequence -- are walked here.
+    uint64_t words = oopBuffer.size();
+    uint64_t groups = bufGroups;
+    if (cache.dirtyCount() != 0) {
+        Addr prev_block = bufLastBlock;
+        cache.forEachLine([&](const CacheLine &line) {
+            if (!line.valid || !line.dirty)
+                return;
+            if (line.blockAddr != prev_block) {
+                ++groups;
+                prev_block = line.blockAddr;
+            }
+            words += cfg.cache.wordsPerBlock();
+        });
+    }
     return words + groups;
 }
 
@@ -149,7 +151,7 @@ HoopArch::flushBufferToRegion()
         for (uint32_t w = 0; w < cfg.cache.wordsPerBlock(); ++w)
             updates.emplace_back(line.blockAddr + w * kWordBytes,
                                  line.data[w]);
-        line.dirty = false;
+        line.markClean();
         line.dirtyWordMask = 0;
     });
 
@@ -168,6 +170,8 @@ HoopArch::flushBufferToRegion()
             committedLog.erase(addr);
         }
         oopBuffer.clear();
+        bufGroups = 0;
+        bufLastBlock = kNoAddr;
         return;
     }
 
@@ -187,6 +191,8 @@ HoopArch::flushBufferToRegion()
     }
     regionFill += incoming;
     oopBuffer.clear();
+    bufGroups = 0;
+    bufLastBlock = kNoAddr;
 }
 
 void
@@ -243,6 +249,8 @@ HoopArch::onPowerFail()
 {
     IntermittentArch::onPowerFail();
     oopBuffer.clear();
+    bufGroups = 0;
+    bufLastBlock = kNoAddr;
 }
 
 CpuSnapshot

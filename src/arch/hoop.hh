@@ -72,6 +72,15 @@ class HoopArch : public IntermittentArch
      *  the OOP region. */
     std::unordered_map<Addr, Word> committedLog;
 
+    /**
+     * Incremental census of the buffer's packed shape: the number of
+     * same-block runs it holds and the block of the newest entry.
+     * Kept in step with oopBuffer so backupCostNowNj — polled every
+     * instruction by JIT policies — never walks the buffer.
+     */
+    uint64_t bufGroups = 0;
+    Addr bufLastBlock = kNoAddr;
+
     /** Entries (word updates) occupying the OOP region. */
     uint32_t regionFill = 0;
 

@@ -36,7 +36,7 @@ IdealArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
     cache.forEachLine([&](CacheLine &line) {
         if (line.valid && line.dirty) {
             journaledWriteBlock(line.blockAddr, line);
-            line.dirty = false;
+            line.markClean();
             line.dirtyWordMask = 0;
         }
     });

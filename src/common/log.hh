@@ -79,6 +79,27 @@ formatAll(const Args &...args)
             panic(__VA_ARGS__); \
     } while (0)
 
+/**
+ * Debug-build assertion for hot-path invariants: full panic()
+ * diagnostics in Debug builds, compiled out (like assert) when
+ * NDEBUG is set, so per-access checks cost nothing in the
+ * RelWithDebInfo/Release builds the benchmarks run. Use panic_if for
+ * anything reachable from untrusted input (fuzzed programs, CLI).
+ */
+#ifdef NDEBUG
+#define NVMR_DEBUG_ASSERTS 0
+#define debug_assert(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define NVMR_DEBUG_ASSERTS 1
+#define debug_assert(cond, ...) \
+    do { \
+        if (!(cond)) \
+            panic("assertion failed: " #cond ": ", __VA_ARGS__); \
+    } while (0)
+#endif
+
 #define fatal_if(cond, ...) \
     do { \
         if (cond) \

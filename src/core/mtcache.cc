@@ -15,6 +15,7 @@ MapTableCache::MapTableCache(uint32_t num_entries, uint32_t num_ways,
              "map table cache associativity must divide entries");
     fatal_if((numSets() & (numSets() - 1)) != 0,
              "map table cache set count must be a power of two");
+    setMask = numSets() - 1;
     slots.resize(entries);
 }
 
@@ -24,7 +25,7 @@ MapTableCache::setOf(Addr tag) const
     // Tags are block addresses; hash past the block-offset bits.
     uint64_t x = tag >> 4;
     x = (x ^ (x >> 16)) * 0x45d9f3b5ull;
-    return static_cast<uint32_t>(x) & (numSets() - 1);
+    return static_cast<uint32_t>(x) & setMask;
 }
 
 MtcEntry *

@@ -101,6 +101,8 @@ class MapTableCache
     std::vector<MtcEntry> slots;
     uint64_t tick = 0;
     uint32_t dirtyCnt = 0;
+    /** numSets() - 1, precomputed so setOf never divides. */
+    uint32_t setMask = 0;
     TraceSink *tracer = nullptr;
     Histogram *residency = nullptr;
 

@@ -139,7 +139,7 @@ NvmrArch::normalWriteback(CacheLine &line)
     Addr target = resolveMapping(line.blockAddr);
     if (line.dirty) { // a backup inside resolveMapping may have
         writeBlockTo(target, line); // cleaned the line already
-        line.dirty = false;
+        line.markClean();
     }
 }
 
@@ -157,7 +157,7 @@ NvmrArch::violatingWriteback(CacheLine &line)
         // scratch space the recovery image never references, so the
         // block may be persisted there again without a fresh rename.
         writeBlockTo(entry->newMap, line);
-        line.dirty = false;
+        line.markClean();
         return;
     }
 
@@ -193,7 +193,7 @@ NvmrArch::violatingWriteback(CacheLine &line)
     sink.consumeOverhead(cfg.tech.mtCacheAccessNj);
     noteRename(tag, fresh);
     writeBlockTo(fresh, line);
-    line.dirty = false;
+    line.markClean();
 }
 
 Addr
@@ -282,7 +282,7 @@ NvmrArch::performBackup(const CpuSnapshot &snap, BackupReason reason)
                 journaledWriteBlock(current, line);
             }
         }
-        line.dirty = false;
+        line.markClean();
         line.dirtyWordMask = 0;
     });
 

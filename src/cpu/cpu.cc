@@ -42,6 +42,10 @@ Cpu::restore(const CpuSnapshot &snap)
 void
 Cpu::writeReg(unsigned idx, Word value)
 {
+    // Decoded register fields and setReg callers share this bounds
+    // check; the assembler/decoder guarantee the range, so it is a
+    // debug-build invariant rather than a per-instruction branch.
+    debug_assert(idx < kNumRegs, "bad register index ", idx);
     if (idx != kRegZero)
         regs[idx] = value;
 }
@@ -49,14 +53,15 @@ Cpu::writeReg(unsigned idx, Word value)
 void
 Cpu::setReg(unsigned idx, Word value)
 {
-    panic_if(idx >= kNumRegs, "bad register index ", idx);
     writeReg(idx, value);
 }
 
 StepResult
 Cpu::step()
 {
-    panic_if(_halted, "step() after HALT");
+    debug_assert(!_halted, "step() after HALT");
+    // Fuzzed programs can JR out of the text section, so the PC
+    // bounds check stays on in release builds.
     panic_if(_pc >= program.text.size(),
              "PC out of range: ", _pc, " in ", program.name);
 

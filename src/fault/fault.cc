@@ -30,6 +30,11 @@ popcount32(Word w)
 void
 FaultInjector::initSchedules()
 {
+    // A disabled injector never fires, whatever the schedule fields
+    // hold; keeping the schedules empty lets cyclePoint's inline
+    // fast path skip the enabled() check.
+    if (!cfg.enabled)
+        return;
     persistSched = cfg.crashPersists;
     if (cfg.crashAtPersist != 0)
         persistSched.push_back(cfg.crashAtPersist);
@@ -72,12 +77,8 @@ FaultInjector::persistPoint()
 }
 
 void
-FaultInjector::cyclePoint(uint64_t total_cycles)
+FaultInjector::fireCyclePoint(uint64_t total_cycles)
 {
-    if (!cfg.enabled || cycleIdx >= cycleSched.size())
-        return;
-    if (total_cycles < cycleSched[cycleIdx])
-        return;
     // Fire once per armed point; skip any that this jump passed over.
     while (cycleIdx < cycleSched.size() &&
            cycleSched[cycleIdx] <= total_cycles)

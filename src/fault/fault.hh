@@ -149,8 +149,17 @@ class FaultInjector
     void persistPoint();
 
     /** Called as wall-clock cycles advance; throws once the armed
-     *  cycle count is reached. */
-    void cyclePoint(uint64_t total_cycles);
+     *  cycle count is reached. Inlined fast-exit: this runs once per
+     *  simulated instruction, so a fault-free run (empty schedule)
+     *  must pay only one predictable branch. */
+    void
+    cyclePoint(uint64_t total_cycles)
+    {
+        if (cycleIdx >= cycleSched.size() ||
+            total_cycles < cycleSched[cycleIdx])
+            return;
+        fireCyclePoint(total_cycles);
+    }
 
     /** Total persist boundaries seen so far. */
     uint64_t persistCount() const { return st.persistPoints; }
@@ -242,6 +251,7 @@ class FaultInjector
     size_t cycleIdx = 0;
 
     void initSchedules();
+    [[noreturn]] void fireCyclePoint(uint64_t total_cycles);
     void closeWindow();
     Word stuckErrorMask(Addr addr, Word stored) const;
     Word sampleTransientMask();

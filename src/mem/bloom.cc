@@ -1,5 +1,7 @@
 #include "mem/bloom.hh"
 
+#include <bit>
+
 #include "common/log.hh"
 
 namespace nvmr
@@ -7,7 +9,8 @@ namespace nvmr
 
 BloomFilter::BloomFilter(unsigned num_bits, unsigned hashes,
                          const TechParams &params, EnergySink &snk)
-    : bits(num_bits, false), numHashes(hashes), tech(params), sink(snk)
+    : words((num_bits + 63) / 64, 0), nBits(num_bits),
+      numHashes(hashes), tech(params), sink(snk)
 {
     fatal_if(num_bits == 0, "bloom filter needs at least one bit");
     fatal_if(hashes == 0, "bloom filter needs at least one hash");
@@ -22,40 +25,44 @@ BloomFilter::hashOf(Addr block_addr, unsigned which) const
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     x ^= x >> 31;
-    return static_cast<unsigned>(x % bits.size());
+    return static_cast<unsigned>(x % nBits);
 }
 
 void
 BloomFilter::insert(Addr block_addr)
 {
     sink.consume(tech.bloomNj);
-    for (unsigned h = 0; h < numHashes; ++h)
-        bits[hashOf(block_addr, h)] = true;
+    for (unsigned h = 0; h < numHashes; ++h) {
+        unsigned bit = hashOf(block_addr, h);
+        words[bit / 64] |= 1ull << (bit % 64);
+    }
 }
 
 bool
 BloomFilter::maybeContains(Addr block_addr)
 {
     sink.consume(tech.bloomNj);
-    for (unsigned h = 0; h < numHashes; ++h)
-        if (!bits[hashOf(block_addr, h)])
+    for (unsigned h = 0; h < numHashes; ++h) {
+        unsigned bit = hashOf(block_addr, h);
+        if (!(words[bit / 64] & (1ull << (bit % 64))))
             return false;
+    }
     return true;
 }
 
 void
 BloomFilter::reset()
 {
-    bits.assign(bits.size(), false);
+    words.assign(words.size(), 0);
 }
 
 double
 BloomFilter::occupancy() const
 {
     size_t set = 0;
-    for (bool b : bits)
-        set += b;
-    return static_cast<double>(set) / static_cast<double>(bits.size());
+    for (uint64_t w : words)
+        set += static_cast<size_t>(std::popcount(w));
+    return static_cast<double>(set) / static_cast<double>(nBits);
 }
 
 } // namespace nvmr

@@ -19,7 +19,13 @@
 namespace nvmr
 {
 
-/** Bloom filter over cache-block addresses. */
+/**
+ * Bloom filter over cache-block addresses. Bits are packed into
+ * 64-bit words; the paper's configurations (8 bits, Table 2) fit a
+ * single word, so callers can precompute an address's hash-lane mask
+ * once (at cache fill) and insert/query with plain bitwise ops
+ * instead of re-hashing per operation.
+ */
 class BloomFilter
 {
   public:
@@ -44,10 +50,45 @@ class BloomFilter
     /** Fraction of bits set, for diagnostics. */
     double occupancy() const;
 
-    unsigned numBits() const { return static_cast<unsigned>(bits.size()); }
+    unsigned numBits() const { return nBits; }
+
+    /** True when the filter fits one 64-bit word and the
+     *  precomputed-mask fast path below applies. */
+    bool singleWord() const { return nBits <= 64; }
+
+    /**
+     * OR of the address's hash-lane bits. Pure hashing, no energy
+     * charge; only meaningful when singleWord(). Precompute at cache
+     * fill, then use the mask variants for the per-access work.
+     */
+    uint64_t
+    laneMask(Addr block_addr) const
+    {
+        uint64_t mask = 0;
+        for (unsigned h = 0; h < numHashes; ++h)
+            mask |= 1ull << hashOf(block_addr, h);
+        return mask;
+    }
+
+    /** insert() via a precomputed lane mask (same energy charge). */
+    void
+    insertMask(uint64_t mask)
+    {
+        sink.consume(tech.bloomNj);
+        words[0] |= mask;
+    }
+
+    /** maybeContains() via a precomputed lane mask. */
+    bool
+    maybeContainsMask(uint64_t mask)
+    {
+        sink.consume(tech.bloomNj);
+        return (words[0] & mask) == mask;
+    }
 
   private:
-    std::vector<bool> bits;
+    std::vector<uint64_t> words;
+    unsigned nBits;
     unsigned numHashes;
     const TechParams &tech;
     EnergySink &sink;

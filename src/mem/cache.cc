@@ -21,37 +21,25 @@ DataCache::DataCache(const CacheConfig &config, const TechParams &params,
     fatal_if(cfg.lbfGranularityBytes == 0 ||
                  cfg.blockBytes % cfg.lbfGranularityBytes != 0,
              "LBF granularity must divide the block size");
+    fatal_if((cfg.blockBytes & (cfg.blockBytes - 1)) != 0,
+             "block size must be a power of two");
+    blockMask = cfg.blockBytes - 1;
+    while ((1u << blockShift) < cfg.blockBytes)
+        ++blockShift;
+    setMask = cfg.numSets() - 1;
     lines.resize(cfg.numBlocks());
     for (CacheLine &line : lines) {
         line.data.assign(cfg.wordsPerBlock(), 0);
         line.lbf.assign(cfg.lbfEntries(), WordState::Unknown);
         line.lbfGranularity = cfg.lbfGranularityBytes;
+        line.dirtyCounter = &dirtyLines;
     }
 }
 
 uint32_t
 DataCache::setOf(Addr block_addr) const
 {
-    return (block_addr / cfg.blockBytes) & (cfg.numSets() - 1);
-}
-
-CacheLine *
-DataCache::lookup(Addr block_addr)
-{
-    panic_if(block_addr % cfg.blockBytes != 0,
-             "lookup of unaligned block address ", block_addr);
-    sink.consume(tech.cacheAccessNj);
-    uint32_t set = setOf(block_addr);
-    for (uint32_t w = 0; w < cfg.ways; ++w) {
-        CacheLine &line = lines[set * cfg.ways + w];
-        if (line.valid && line.blockAddr == block_addr) {
-            line.lruTick = ++tick;
-            ++_hits;
-            return &line;
-        }
-    }
-    ++_misses;
-    return nullptr;
+    return (block_addr >> blockShift) & setMask;
 }
 
 CacheLine &
@@ -77,7 +65,7 @@ DataCache::fill(CacheLine &line, Addr block_addr,
              "fill with wrong block size");
     sink.consume(tech.cacheAccessNj);
     line.valid = true;
-    line.dirty = false;
+    line.markClean();
     line.blockAddr = block_addr;
     line.data = data;
     line.lbf.assign(cfg.lbfEntries(), WordState::Unknown);
@@ -89,7 +77,7 @@ void
 DataCache::invalidate(CacheLine &line)
 {
     line.valid = false;
-    line.dirty = false;
+    line.markClean();
     line.blockAddr = kNoAddr;
     line.dirtyWordMask = 0;
 }
@@ -126,10 +114,15 @@ DataCache::forEachLine(
 uint32_t
 DataCache::dirtyCount() const
 {
+#if NVMR_DEBUG_ASSERTS
     uint32_t n = 0;
     for (const CacheLine &line : lines)
-        n += line.valid && line.dirty;
-    return n;
+        n += line.dirty;
+    debug_assert(n == dirtyLines,
+                 "dirty-line counter out of sync: ", dirtyLines,
+                 " != ", n);
+#endif
+    return dirtyLines;
 }
 
 } // namespace nvmr

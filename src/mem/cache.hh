@@ -14,6 +14,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/log.hh"
 #include "common/types.hh"
 #include "power/energy.hh"
 
@@ -72,6 +73,38 @@ struct CacheLine
 
     /** Bit per word set by stores since the fill (HOOP packs these). */
     uint32_t dirtyWordMask = 0;
+
+    /** GBF lane mask of blockAddr, precomputed at fill time so the
+     *  eviction-path insert needs no re-hash (single-word GBF). */
+    uint64_t gbfMask = 0;
+
+    /** Owning cache's dirty-line counter (null for free-standing
+     *  lines in tests); keeps dirtyCount() O(1) on the per-
+     *  instruction backup-cost path. */
+    uint32_t *dirtyCounter = nullptr;
+
+    /** Set/clear the dirty flag through the owner's counter. All
+     *  writers must use these (not the raw field) so the counter
+     *  stays exact. */
+    void
+    markDirty()
+    {
+        if (!dirty) {
+            dirty = true;
+            if (dirtyCounter)
+                ++*dirtyCounter;
+        }
+    }
+
+    void
+    markClean()
+    {
+        if (dirty) {
+            dirty = false;
+            if (dirtyCounter)
+                --*dirtyCounter;
+        }
+    }
 
     /** Composite LBF state: true iff any unit is read-dominated. */
     bool
@@ -137,19 +170,47 @@ class DataCache
     const CacheConfig &config() const { return cfg; }
 
     /** Block-align an address. */
-    Addr blockAlign(Addr addr) const { return addr & ~(cfg.blockBytes - 1); }
+    Addr blockAlign(Addr addr) const { return addr & ~blockMask; }
 
     /** Word index of an address within its block. */
     uint32_t wordIndex(Addr addr) const
     {
-        return (addr & (cfg.blockBytes - 1)) / kWordBytes;
+        return (addr & blockMask) / kWordBytes;
     }
 
     /**
      * Look up a block. Charges one SRAM access and refreshes LRU on a
      * hit. Returns nullptr on miss.
      */
-    CacheLine *lookup(Addr block_addr);
+    CacheLine *
+    lookup(Addr block_addr)
+    {
+        sink.consume(tech.cacheAccessNj);
+        return lookupUncharged(block_addr);
+    }
+
+    /**
+     * Hit/miss bookkeeping and LRU refresh without the energy
+     * charge: the architecture access path batches the SRAM charge
+     * with the LBF charge into one sink call per access.
+     */
+    CacheLine *
+    lookupUncharged(Addr block_addr)
+    {
+        debug_assert((block_addr & blockMask) == 0,
+                     "lookup of unaligned block address ", block_addr);
+        uint32_t set = (block_addr >> blockShift) & setMask;
+        CacheLine *way = &lines[set * cfg.ways];
+        for (uint32_t w = 0; w < cfg.ways; ++w, ++way) {
+            if (way->valid && way->blockAddr == block_addr) {
+                way->lruTick = ++tick;
+                ++_hits;
+                return way;
+            }
+        }
+        ++_misses;
+        return nullptr;
+    }
 
     /**
      * Pick the fill victim for a block address: an invalid way if one
@@ -180,7 +241,8 @@ class DataCache
     void forEachLine(
         const std::function<void(const CacheLine &)> &fn) const;
 
-    /** Count of valid+dirty lines. */
+    /** Count of valid+dirty lines (O(1): maintained by the
+     *  CacheLine::markDirty/markClean protocol). */
     uint32_t dirtyCount() const;
 
     uint64_t hits() const { return _hits; }
@@ -195,6 +257,12 @@ class DataCache
     uint64_t tick = 0;
     uint64_t _hits = 0;
     uint64_t _misses = 0;
+    uint32_t dirtyLines = 0;
+
+    /** Precomputed geometry (the per-access path must not divide). */
+    Addr blockMask = 0;
+    uint32_t blockShift = 0;
+    uint32_t setMask = 0;
 
     uint32_t setOf(Addr block_addr) const;
 };

@@ -1,0 +1,231 @@
+#include "par/par.hh"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace nvmr::par
+{
+
+namespace
+{
+
+thread_local bool tInWorker = false;
+std::atomic<unsigned> gJobs{0};
+
+} // namespace
+
+unsigned
+hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+parseJobsValue(const char *text)
+{
+    fatal_if(!text || !*text, "--jobs needs a positive count");
+    char *end = nullptr;
+    unsigned long v = std::strtoul(text, &end, 10);
+    fatal_if(*end != '\0' || v == 0 ||
+                 v > std::numeric_limits<unsigned>::max(),
+             "bad job count '", text, "'");
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("NVMR_JOBS"))
+        return parseJobsValue(env);
+    return hardwareJobs();
+}
+
+void
+setGlobalJobs(unsigned jobs)
+{
+    gJobs.store(jobs, std::memory_order_relaxed);
+}
+
+unsigned
+globalJobs()
+{
+    unsigned j = gJobs.load(std::memory_order_relaxed);
+    return j ? j : defaultJobs();
+}
+
+bool
+inWorker()
+{
+    return tInWorker;
+}
+
+// ----------------------------------------------------------------------
+// Progress
+// ----------------------------------------------------------------------
+
+Progress::Progress(std::string label_, uint64_t total_, bool enabled_)
+    : label(std::move(label_)), total(total_),
+      enabled(enabled_ && total_ > 0 && isatty(fileno(stderr))),
+      start(std::chrono::steady_clock::now()), lastRender(start)
+{
+}
+
+Progress::~Progress()
+{
+    finish();
+}
+
+void
+Progress::tick()
+{
+    uint64_t d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!enabled)
+        return;
+    // Render at most ~10 times/second; skip when another thread is
+    // already rendering.
+    if (!renderMutex.try_lock())
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (d == total || now - lastRender > std::chrono::milliseconds(100)) {
+        lastRender = now;
+        render(d);
+    }
+    renderMutex.unlock();
+}
+
+void
+Progress::render(uint64_t d)
+{
+    using namespace std::chrono;
+    double secs =
+        duration_cast<duration<double>>(steady_clock::now() - start)
+            .count();
+    double eta = d ? secs * static_cast<double>(total - d) /
+                         static_cast<double>(d)
+                   : 0.0;
+    std::fprintf(stderr, "\r%s: %llu/%llu (%.0f%%) ETA %.0fs ",
+                 label.c_str(), static_cast<unsigned long long>(d),
+                 static_cast<unsigned long long>(total),
+                 100.0 * static_cast<double>(d) /
+                     static_cast<double>(total),
+                 eta);
+    std::fflush(stderr);
+}
+
+void
+Progress::finish()
+{
+    if (!enabled || finished.exchange(true))
+        return;
+    std::lock_guard<std::mutex> g(renderMutex);
+    std::fprintf(stderr, "\r\033[K");
+    std::fflush(stderr);
+}
+
+// ----------------------------------------------------------------------
+// parallelFor
+// ----------------------------------------------------------------------
+
+namespace
+{
+
+/** One contiguous index shard with its claim cursor, padded so
+ *  cursors of different workers never share a cache line. */
+struct alignas(64) Shard
+{
+    std::atomic<size_t> next{0};
+    size_t end = 0;
+};
+
+} // namespace
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body,
+            unsigned jobs, Progress *progress)
+{
+    if (n == 0)
+        return;
+    unsigned want = jobs ? jobs : globalJobs();
+    if (want > n)
+        want = static_cast<unsigned>(n);
+    if (want <= 1 || tInWorker) {
+        // Serial (or nested-on-a-worker) execution: same index
+        // order, same results -- the determinism baseline.
+        for (size_t i = 0; i < n; ++i) {
+            body(i);
+            if (progress)
+                progress->tick();
+        }
+        return;
+    }
+
+    std::vector<Shard> shards(want);
+    for (unsigned w = 0; w < want; ++w) {
+        shards[w].next.store(n * w / want,
+                             std::memory_order_relaxed);
+        shards[w].end = n * (w + 1) / want;
+    }
+
+    // Cancellation must preserve the serial failure: only indices
+    // ABOVE the lowest recorded failure may be skipped, because a
+    // still-unclaimed lower index could fail earlier. The rethrown
+    // exception is then exactly the one a serial run would hit first.
+    std::atomic<size_t> errorIdx{std::numeric_limits<size_t>::max()};
+    std::mutex errMutex;
+    std::exception_ptr firstError;
+
+    auto runIndex = [&](size_t i) {
+        if (i < errorIdx.load(std::memory_order_acquire)) {
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(errMutex);
+                if (i < errorIdx.load(std::memory_order_relaxed)) {
+                    errorIdx.store(i, std::memory_order_release);
+                    firstError = std::current_exception();
+                }
+            }
+        }
+        if (progress)
+            progress->tick();
+    };
+
+    auto worker = [&](unsigned self) {
+        bool saved = tInWorker;
+        tInWorker = true;
+        // Drain the worker's own shard first (cache-friendly,
+        // contention-free), then steal from the others.
+        for (unsigned off = 0; off < want; ++off) {
+            Shard &shard = shards[(self + off) % want];
+            for (;;) {
+                size_t i =
+                    shard.next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= shard.end)
+                    break;
+                runIndex(i);
+            }
+        }
+        tInWorker = saved;
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(want - 1);
+    for (unsigned w = 1; w < want; ++w)
+        threads.emplace_back(worker, w);
+    worker(0); // the calling thread participates
+    for (std::thread &t : threads)
+        t.join();
+
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace nvmr::par

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic parallel execution engine for simulation campaigns.
+ *
+ * Every evaluation and verification campaign in this repository is an
+ * embarrassingly parallel grid of independent Simulator runs. The
+ * engine fans such grids out across a sharded thread pool (one
+ * contiguous index shard per worker, work stealing from the busiest
+ * neighbours when a shard drains) while preserving the determinism
+ * contract (docs/performance.md): the body for index i writes only
+ * state owned by index i, results are gathered in canonical index
+ * order, and no engine decision ever feeds back into a simulation.
+ * `--jobs 1` and `--jobs N` therefore produce bit-identical results.
+ *
+ * Worker count resolution, in priority order: the explicit `jobs`
+ * argument, setGlobalJobs() (tools wire `--jobs` here), the NVMR_JOBS
+ * environment variable, std::thread::hardware_concurrency().
+ *
+ * Nested parallelFor calls run inline on the calling worker, so
+ * drivers that parallelise cells may freely call helpers (e.g.
+ * runOnTraces) that parallelise internally.
+ */
+
+#ifndef NVMR_PAR_PAR_HH
+#define NVMR_PAR_PAR_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nvmr::par
+{
+
+/** std::thread::hardware_concurrency(), never 0. */
+unsigned hardwareJobs();
+
+/** NVMR_JOBS when set (fatal on garbage), else hardwareJobs(). */
+unsigned defaultJobs();
+
+/** Process-wide worker count used when parallelFor's `jobs` is 0.
+ *  Passing 0 restores defaultJobs(). Tools call this from --jobs. */
+void setGlobalJobs(unsigned jobs);
+
+/** The currently effective worker count. */
+unsigned globalJobs();
+
+/** Parse a --jobs operand; fatal() on garbage or 0. */
+unsigned parseJobsValue(const char *text);
+
+/**
+ * Throttled progress/ETA line on stderr. Thread-safe; renders only
+ * when stderr is a terminal (campaign CSV/JSON on stdout stays
+ * clean). tick() is cheap enough to call per cell, not per step.
+ */
+class Progress
+{
+  public:
+    /**
+     * @param label Short campaign label ("sweep", "fuzz", ...).
+     * @param total Cell count; 0 disables rendering.
+     * @param enabled Master switch (tools pass !quiet).
+     */
+    Progress(std::string label, uint64_t total, bool enabled = true);
+    ~Progress();
+
+    /** One cell finished. */
+    void tick();
+
+    /** Clear the line (called automatically on destruction). */
+    void finish();
+
+  private:
+    void render(uint64_t done);
+
+    std::string label;
+    uint64_t total;
+    bool enabled;
+    std::atomic<uint64_t> done{0};
+    std::atomic<bool> finished{false};
+    std::mutex renderMutex;
+    std::chrono::steady_clock::time_point start;
+    std::chrono::steady_clock::time_point lastRender;
+};
+
+/**
+ * Run body(i) for every i in [0, n) on up to `jobs` workers (0 =
+ * globalJobs()). Returns when every index has run. The first body
+ * exception (lowest index) is rethrown after all workers drain.
+ * Runs inline when jobs <= 1, n <= 1, or when called from inside
+ * another parallelFor body.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body,
+                 unsigned jobs = 0, Progress *progress = nullptr);
+
+/** True when the calling thread is a parallelFor worker. */
+bool inWorker();
+
+/**
+ * Deterministic map: out[i] = fn(i), gathered in index order
+ * regardless of execution order. T must be default-constructible
+ * and movable.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMap(size_t n, Fn &&fn, unsigned jobs = 0,
+            Progress *progress = nullptr)
+{
+    std::vector<T> out(n);
+    parallelFor(
+        n, [&](size_t i) { out[i] = fn(i); }, jobs, progress);
+    return out;
+}
+
+} // namespace nvmr::par
+
+#endif // NVMR_PAR_PAR_HH

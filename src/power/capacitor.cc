@@ -12,11 +12,16 @@ Capacitor::Capacitor(double nominal_farads, double v_max, double v_on,
                      double v_off, double cap_scale,
                      double cap_exponent)
     : farads(cap_scale * std::pow(nominal_farads, cap_exponent)),
-      vMax(v_max), vOn(v_on), vOff(v_off), v(v_max)
+      vMax(v_max), vOn(v_on), vOff(v_off)
 {
     fatal_if(nominal_farads <= 0, "capacitance must be positive");
     fatal_if(!(v_off < v_on && v_on <= v_max),
              "capacitor thresholds must satisfy vOff < vOn <= vMax");
+    eMax = toNj(vMax);
+    eOn = toNj(vOn);
+    eOff = toNj(vOff);
+    eDead = toNj(vOff + 1e-12);
+    e = eMax;
 }
 
 NanoJoules
@@ -34,33 +39,7 @@ Capacitor::toVolts(NanoJoules nj) const
 void
 Capacitor::setVoltage(double new_v)
 {
-    v = std::clamp(new_v, 0.0, vMax);
-}
-
-NanoJoules
-Capacitor::usableNj() const
-{
-    return std::max(0.0, toNj(v) - toNj(vOff));
-}
-
-NanoJoules
-Capacitor::headroomNj() const
-{
-    return std::max(0.0, toNj(vMax) - toNj(v));
-}
-
-void
-Capacitor::drainNj(NanoJoules nj)
-{
-    panic_if(nj < 0, "negative drain");
-    v = toVolts(std::max(0.0, toNj(v) - nj));
-}
-
-void
-Capacitor::harvestNj(NanoJoules nj)
-{
-    panic_if(nj < 0, "negative harvest");
-    v = std::min(vMax, toVolts(toNj(v) + nj));
+    e = toNj(std::clamp(new_v, 0.0, vMax));
 }
 
 } // namespace nvmr

@@ -8,6 +8,7 @@
 #ifndef NVMR_POWER_CAPACITOR_HH
 #define NVMR_POWER_CAPACITOR_HH
 
+#include "common/log.hh"
 #include "common/types.hh"
 
 namespace nvmr
@@ -22,6 +23,12 @@ namespace nvmr
  * that active periods land in the 10^3..10^5 cycle range our
  * benchmarks need (DESIGN.md substitution 4); the paper's relative
  * capacitor-size ordering (500uF < 7.5mF < 100mF) is preserved.
+ *
+ * Stored energy is the primary state: drain/harvest/threshold checks
+ * -- several per simulated instruction -- are adds and compares
+ * against precomputed threshold energies, and the sqrt only runs when
+ * someone actually asks for volts. (E = 1/2 C V^2 is monotonic, so
+ * every voltage-threshold comparison is an energy comparison.)
  */
 class Capacitor
 {
@@ -46,32 +53,47 @@ class Capacitor
               double v_on = 2.2, double v_off = 1.8,
               double cap_scale = 8e-4, double cap_exponent = 0.607);
 
-    /** Current capacitor voltage. */
-    double voltage() const { return v; }
+    /** Current capacitor voltage (derived from the stored energy). */
+    double voltage() const { return toVolts(e); }
 
     /** Set the voltage directly (initial conditions, tests). */
     void setVoltage(double new_v);
 
     /** Stored energy above 0 V. */
-    NanoJoules energyNj() const { return toNj(v); }
+    NanoJoules energyNj() const { return e; }
 
     /** Energy available before the brown-out voltage is reached. */
-    NanoJoules usableNj() const;
+    NanoJoules usableNj() const { return e > eOff ? e - eOff : 0.0; }
 
     /** Energy that a full recharge could still add. */
-    NanoJoules headroomNj() const;
+    NanoJoules headroomNj() const
+    {
+        return e < eMax ? eMax - e : 0.0;
+    }
 
     /** True when the supply has browned out. */
-    bool dead() const { return v <= vOff + 1e-12; }
+    bool dead() const { return e <= eDead; }
 
     /** True when a browned-out device may turn back on. */
-    bool canTurnOn() const { return v >= vOn; }
+    bool canTurnOn() const { return e >= eOn; }
 
     /** Remove energy (computation, backups). Clamps at 0 V. */
-    void drainNj(NanoJoules nj);
+    void
+    drainNj(NanoJoules nj)
+    {
+        panic_if(nj < 0, "negative drain");
+        e = e > nj ? e - nj : 0.0;
+    }
 
     /** Add harvested energy. Clamps at vMax. */
-    void harvestNj(NanoJoules nj);
+    void
+    harvestNj(NanoJoules nj)
+    {
+        panic_if(nj < 0, "negative harvest");
+        e += nj;
+        if (e > eMax)
+            e = eMax;
+    }
 
     double vMaxVolts() const { return vMax; }
     double vOnVolts() const { return vOn; }
@@ -85,7 +107,15 @@ class Capacitor
     double vMax;
     double vOn;
     double vOff;
-    double v;
+
+    /** Stored energy (primary state) and precomputed thresholds:
+     *  eDead = toNj(vOff + eps) preserves the seed's voltage-epsilon
+     *  dead() semantics under the monotonic E(V) map. */
+    NanoJoules e = 0;
+    NanoJoules eMax = 0;
+    NanoJoules eOn = 0;
+    NanoJoules eOff = 0;
+    NanoJoules eDead = 0;
 
     NanoJoules toNj(double volts) const;
     double toVolts(NanoJoules nj) const;

@@ -150,8 +150,6 @@ HarvestTrace::powerMwAtCycle(Cycles cycle) const
 NanoJoules
 HarvestTrace::harvestedNj(Cycles from, Cycles n) const
 {
-    // 1 mW over one 8 MHz cycle (125 ns) is 0.125 nJ.
-    constexpr double kNjPerMwCycle = 0.125;
     // Integrate sample-by-sample; intervals are usually tiny.
     NanoJoules total = 0;
     Cycles c = from;
@@ -160,7 +158,7 @@ HarvestTrace::harvestedNj(Cycles from, Cycles n) const
         Cycles in_sample =
             cyclesPerSample - (c % cyclesPerSample);
         Cycles take = std::min(in_sample, remaining);
-        total += powerMwAtCycle(c) * kNjPerMwCycle *
+        total += powerMwAtCycle(c) * njPerMwCycle *
                  static_cast<double>(take);
         c += take;
         remaining -= take;

@@ -55,6 +55,9 @@ class HarvestTrace
     /** Cycles per 1 kHz sample at the 8 MHz core clock. */
     static constexpr Cycles cyclesPerSample = 8000;
 
+    /** 1 mW over one 8 MHz cycle (125 ns) is 0.125 nJ. */
+    static constexpr double njPerMwCycle = 0.125;
+
     /**
      * The standard evaluation trace set: `n` traces cycling through
      * the three archetypes with distinct seeds (the paper averages

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/xorshift.hh"
+#include "par/par.hh"
 #include "workloads/workloads.hh"
 
 namespace nvmr
@@ -12,14 +13,15 @@ runOnTraces(const Program &prog, ArchKind arch, const SystemConfig &cfg,
             const PolicySpec &policy,
             const std::vector<HarvestTrace> &traces, RunOptions opts)
 {
-    std::vector<RunResult> results;
-    results.reserve(traces.size());
-    for (const HarvestTrace &trace : traces) {
-        auto pol = makePolicy(policy);
-        Simulator sim(prog, arch, cfg, *pol, trace, opts);
-        results.push_back(sim.run());
-    }
-    return results;
+    // Each trace is an independent cell: its own policy instance, its
+    // own Simulator, results gathered in trace order (determinism
+    // contract, docs/performance.md).
+    return par::parallelMap<RunResult>(
+        traces.size(), [&](size_t i) {
+            auto pol = makePolicy(policy);
+            Simulator sim(prog, arch, cfg, *pol, traces[i], opts);
+            return sim.run();
+        });
 }
 
 Aggregate
@@ -121,46 +123,58 @@ collectSamples(ArchKind arch, const SystemConfig &cfg,
                const std::vector<std::string> &workload_names,
                const std::vector<HarvestTrace> &traces)
 {
-    std::vector<SpendthriftSample> samples;
-    for (const std::string &name : workload_names) {
-        Program prog = assembleWorkload(name);
-        for (const HarvestTrace &trace : traces) {
-            RecordingJitPolicy policy(samples);
+    // Assemble serially (cheap, and keeps the parallel region free of
+    // shared mutable state), then fan the workload x trace grid out
+    // and concatenate per-run sample vectors in canonical
+    // (workload-major, trace-minor) order -- byte-identical to the
+    // old serial append loop.
+    std::vector<Program> progs;
+    progs.reserve(workload_names.size());
+    for (const std::string &name : workload_names)
+        progs.push_back(assembleWorkload(name));
+
+    size_t cells = progs.size() * traces.size();
+    auto per_run = par::parallelMap<std::vector<SpendthriftSample>>(
+        cells, [&](size_t i) {
+            const Program &prog = progs[i / traces.size()];
+            const HarvestTrace &trace = traces[i % traces.size()];
+            std::vector<SpendthriftSample> out;
+            RecordingJitPolicy policy(out);
             RunOptions opts;
             opts.validate = false;
             Simulator sim(prog, arch, cfg, policy, trace, opts);
             sim.run();
-        }
-    }
+            return out;
+        });
+
+    std::vector<SpendthriftSample> samples;
+    for (const auto &v : per_run)
+        samples.insert(samples.end(), v.begin(), v.end());
     return samples;
 }
 
-/** Duplicate positive samples until they are ~1/4 of the set (JIT
- *  fires are rare, and an unbalanced set trains an always-no
- *  predictor). */
+} // namespace
+
 void
-balance(std::vector<SpendthriftSample> &samples)
+balanceSamples(std::vector<SpendthriftSample> &samples)
 {
     size_t positives = 0;
     for (const auto &s : samples)
         positives += s.label > 0.5f;
-    if (positives == 0)
+    if (positives == 0 || positives * 4 >= samples.size())
         return;
     std::vector<SpendthriftSample> pos;
     for (const auto &s : samples)
         if (s.label > 0.5f)
             pos.push_back(s);
-    while (positives * 4 < samples.size()) {
-        for (const auto &s : pos) {
-            samples.push_back(s);
-            ++positives;
-            if (positives * 4 >= samples.size())
-                break;
-        }
-    }
+    // Appending k duplicates must satisfy 4 * (positives + k) >=
+    // samples.size() + k, so k = ceil((size - 4*positives) / 3) --
+    // computed once instead of re-scanning a growing vector.
+    size_t k = (samples.size() - 4 * positives + 2) / 3;
+    samples.reserve(samples.size() + k);
+    for (size_t i = 0; i < k; ++i)
+        samples.push_back(pos[i % pos.size()]);
 }
-
-} // namespace
 
 SpendthriftModel
 trainSpendthriftModel(ArchKind arch, const SystemConfig &cfg,
@@ -170,7 +184,7 @@ trainSpendthriftModel(ArchKind arch, const SystemConfig &cfg,
     auto train_samples = collectSamples(arch, cfg, workload_names,
                                         HarvestTrace::trainingSet());
     fatal_if(train_samples.empty(), "no spendthrift training samples");
-    balance(train_samples);
+    balanceSamples(train_samples);
 
     SpendthriftModel model;
     model.train(train_samples);

@@ -66,6 +66,13 @@ double percentSaved(const Aggregate &baseline,
                     const Aggregate &subject);
 
 /**
+ * Duplicate positive samples until they are ~1/4 of the set (JIT
+ * fires are rare, and an unbalanced set trains an always-no
+ * predictor). Exposed for the unit test of the 1/4 invariant.
+ */
+void balanceSamples(std::vector<SpendthriftSample> &samples);
+
+/**
  * Train a Spendthrift model for one architecture (the paper trains
  * one per architecture): run the named workloads under the JIT oracle
  * on the 7 training traces, collect (harvest, voltage, fire) samples,

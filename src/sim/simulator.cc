@@ -221,12 +221,37 @@ Simulator::consumeOverhead(NanoJoules nj)
 }
 
 void
+Simulator::refreshHarvestCache()
+{
+    harvestMwCached = trace.powerMwAtCycle(totalCycles);
+    harvestSampleEnd = (totalCycles / HarvestTrace::cyclesPerSample + 1) *
+                       HarvestTrace::cyclesPerSample;
+}
+
+double
+Simulator::harvestMwNow()
+{
+    if (totalCycles >= harvestSampleEnd)
+        refreshHarvestCache();
+    return harvestMwCached;
+}
+
+void
 Simulator::addCycles(Cycles n)
 {
     if (n == 0)
         return;
-    cap.harvestNj(trace.harvestedNj(totalCycles, n));
+    if (totalCycles + n <= harvestSampleEnd) {
+        // Whole interval inside the cached sample: same multiply
+        // harvestedNj would do, without the per-sample walk.
+        cap.harvestNj(harvestMwCached * HarvestTrace::njPerMwCycle *
+                      static_cast<double>(n));
+    } else {
+        cap.harvestNj(trace.harvestedNj(totalCycles, n));
+    }
     totalCycles += n;
+    if (totalCycles >= harvestSampleEnd)
+        refreshHarvestCache();
     activeCycles += n;
     double dn = static_cast<double>(n);
     applyEnergy(dn * (cfg.tech.cpuCycleNj + cfg.tech.leakNjPerCycle),
@@ -301,7 +326,7 @@ Simulator::hibernate()
         account.spendCommitted(ECat::Forward, leak);
         if (cap.dead())
             throw PowerFailure{}; // pending is empty: no dead energy
-        if (cap.voltage() >= cap.vOnVolts()) {
+        if (cap.canTurnOn()) {
             if (observer)
                 observer->onWake(activeCycles);
             if (tracer)
@@ -444,7 +469,7 @@ Simulator::maybePolicyBackup()
                       activeCycles - lastBackupActive,
                       activeCycles - resumeActive,
                       arch->backupCostNowNj(),
-                      trace.powerMwAtCycle(totalCycles)};
+                      harvestMwNow()};
     if (!policy.shouldBackup(ctx))
         return;
     requestBackup(BackupReason::Policy);

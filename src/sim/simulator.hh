@@ -246,6 +246,17 @@ class Simulator : public EnergySink, public BackupHost
     uint64_t lastBackupActive = 0;
     uint64_t resumeActive = 0;
 
+    /** Harvest-trace sample under the current cycle, cached so the
+     *  per-instruction path avoids the trace's div/mod lookup. The
+     *  cache holds until totalCycles reaches harvestSampleEnd (the
+     *  next 1 kHz sample boundary); hibernation and recharge waits
+     *  advance past it, which simply forces a refresh. */
+    double harvestMwCached = 0;
+    uint64_t harvestSampleEnd = 0;
+
+    void refreshHarvestCache();
+    double harvestMwNow();
+
     void applyEnergy(NanoJoules nj, bool overhead);
     void checkBrownout();
     ECat categoryFor(bool overhead) const;

@@ -1,0 +1,45 @@
+# Determinism-contract check for the parallel engine
+# (docs/performance.md): every campaign driver must produce
+# byte-identical stdout and stats JSON whatever the worker count.
+# Invoked by the `par-determinism` ctest with the tool paths:
+#
+#   cmake -DSWEEP=... -DFUZZ=... -DDIFF=... -DWORKDIR=... \
+#         -P par_determinism.cmake
+
+foreach(var SWEEP FUZZ DIFF WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=... (see tests/CMakeLists.txt)")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+function(run_case label exe)
+    foreach(jobs 1 8)
+        execute_process(
+            COMMAND "${exe}" ${ARGN} --jobs ${jobs}
+                    --stats-json "${WORKDIR}/${label}_j${jobs}.json"
+            OUTPUT_FILE "${WORKDIR}/${label}_j${jobs}.out"
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                    "${label} --jobs ${jobs} exited with ${rc}")
+        endif()
+    endforeach()
+    foreach(ext out json)
+        execute_process(
+            COMMAND ${CMAKE_COMMAND} -E compare_files
+                    "${WORKDIR}/${label}_j1.${ext}"
+                    "${WORKDIR}/${label}_j8.${ext}"
+            RESULT_VARIABLE rc)
+        if(NOT rc EQUAL 0)
+            message(FATAL_ERROR
+                    "${label}: --jobs 1 vs --jobs 8 .${ext} differs "
+                    "(determinism contract violated)")
+        endif()
+    endforeach()
+    message(STATUS "${label}: byte-identical across worker counts")
+endfunction()
+
+run_case(sweep "${SWEEP}" --workloads hist --traces 2)
+run_case(fuzz "${FUZZ}" --oracle 6)
+run_case(diff "${DIFF}" --smoke)

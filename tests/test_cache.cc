@@ -127,7 +127,7 @@ TEST_F(CacheTest, FillResetsDirtyAndLbf)
 {
     CacheLine &line = cache.victim(0);
     cache.fill(line, 0, block(0));
-    line.dirty = true;
+    line.markDirty();
     line.dirtyWordMask = 0xf;
     line.touchWord(0, false);
     cache.fill(line, 0x20, block(1));
@@ -151,10 +151,10 @@ TEST_F(CacheTest, DirtyCountTracksDirtyLines)
 {
     CacheLine &a = cache.victim(0);
     cache.fill(a, 0, block(0));
-    a.dirty = true;
+    a.markDirty();
     CacheLine &b = cache.victim(0x10);
     cache.fill(b, 0x10, block(1));
-    b.dirty = true;
+    b.markDirty();
     EXPECT_EQ(cache.dirtyCount(), 2u);
 }
 

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/log.hh"
 #include "cpu/cpu.hh"
 #include "isa/assembler.hh"
 #include "mem/port.hh"
@@ -302,6 +303,17 @@ TEST(Cpu, MulOverflowWraps)
     h.runToHalt();
     EXPECT_EQ(h.cpu.reg(3), 0u);
 }
+
+#if NVMR_DEBUG_ASSERTS
+// The register bounds check is a debug_assert shared by setReg and
+// the decoder's writeReg path (the decoder guarantees the range, so
+// release builds skip the branch). Only a Debug build can observe it.
+TEST(CpuDeathTest, RegisterIndexBoundsAreDebugAsserted)
+{
+    RunHarness h("halt");
+    EXPECT_DEATH(h.cpu.setReg(kNumRegs, 1), "bad register index");
+}
+#endif
 
 } // namespace
 } // namespace nvmr

@@ -144,5 +144,58 @@ TEST(Experiment, TrainsSpendthriftModel)
     EXPECT_LT(p, 1.0f);
 }
 
+std::vector<SpendthriftSample>
+makeSamples(size_t negatives, size_t positives)
+{
+    std::vector<SpendthriftSample> s;
+    for (size_t i = 0; i < negatives; ++i)
+        s.push_back({1.0f + static_cast<float>(i), 2.0f, 0.0f});
+    for (size_t i = 0; i < positives; ++i)
+        s.push_back({9.0f + static_cast<float>(i), 3.0f, 1.0f});
+    return s;
+}
+
+size_t
+countPositives(const std::vector<SpendthriftSample> &s)
+{
+    size_t n = 0;
+    for (const auto &x : s)
+        n += x.label > 0.5f;
+    return n;
+}
+
+TEST(Experiment, BalanceSamplesReachesQuarterRatio)
+{
+    // Rare positives get duplicated until they are at least 1/4 of
+    // the set -- and only just: one duplicate fewer must fall short.
+    for (size_t neg : {30u, 97u, 400u}) {
+        for (size_t pos : {1u, 3u, 7u}) {
+            auto s = makeSamples(neg, pos);
+            balanceSamples(s);
+            size_t balanced = countPositives(s);
+            EXPECT_GE(4 * balanced, s.size())
+                << neg << " negatives, " << pos << " positives";
+            EXPECT_LT(4 * (balanced - 1), s.size() - 1)
+                << "overshot: " << neg << "/" << pos;
+            // Only positives were appended; negatives are untouched.
+            EXPECT_EQ(s.size() - balanced, neg);
+        }
+    }
+}
+
+TEST(Experiment, BalanceSamplesLeavesBalancedSetsAlone)
+{
+    // Already at or above the 1/4 ratio: no duplication.
+    auto s = makeSamples(12, 4);
+    balanceSamples(s);
+    EXPECT_EQ(s.size(), 16u);
+    EXPECT_EQ(countPositives(s), 4u);
+
+    // All-negative sets cannot be balanced by duplication.
+    auto none = makeSamples(10, 0);
+    balanceSamples(none);
+    EXPECT_EQ(none.size(), 10u);
+}
+
 } // namespace
 } // namespace nvmr

@@ -9,15 +9,36 @@
 #ifndef NVMR_TOOLS_CLI_HH
 #define NVMR_TOOLS_CLI_HH
 
+#include <cstring>
 #include <string>
 
 #include "common/log.hh"
+#include "par/par.hh"
 #include "power/policy.hh"
 #include "power/trace.hh"
 #include "sim/config.hh"
 
 namespace nvmr::cli
 {
+
+/**
+ * Handle a `--jobs N` argument pair inside a tool's arg loop: when
+ * argv[i] is `--jobs`, consume its value, wire it into the parallel
+ * engine (par::setGlobalJobs) and return true. The NVMR_JOBS
+ * environment variable provides the same control without a flag;
+ * results are bit-identical for every worker count
+ * (docs/performance.md).
+ */
+inline bool
+handleJobsArg(int argc, char **argv, int &i)
+{
+    if (std::strcmp(argv[i], "--jobs") != 0)
+        return false;
+    if (i + 1 >= argc)
+        fatal("missing value for --jobs");
+    par::setGlobalJobs(par::parseJobsValue(argv[++i]));
+    return true;
+}
 
 inline ArchKind
 parseArchKind(const std::string &name)

@@ -11,15 +11,13 @@
  *     nvmr_crashtest                       # full sweep, 50 backups
  *     nvmr_crashtest --smoke               # <30 s fixed-seed subset
  *     nvmr_crashtest -w hist,qsort -a nvmr --max-backups 10
- *     nvmr_crashtest --stride 4 --threads 8
+ *     nvmr_crashtest --stride 4 --jobs 8   # --threads is an alias
  */
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "cli.hh"
@@ -27,6 +25,7 @@
 #include "common/xorshift.hh"
 #include "obs/json.hh"
 #include "obs/manifest.hh"
+#include "par/par.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -44,7 +43,7 @@ struct Options
     uint64_t stride = 1;       ///< take every Nth persist boundary
     uint64_t cycleSamples = 8; ///< random mid-execution crash cycles
     uint64_t seed = 1;
-    unsigned threads = 0; ///< 0 = hardware concurrency
+    unsigned jobs = 0; ///< 0 = engine default (NVMR_JOBS / cores)
     bool verbose = false;
     std::string statsJsonPath;
 };
@@ -67,7 +66,9 @@ usage()
         "(default 8)\n"
         "  --seed N              seed for the cycle sampling "
         "(default 1)\n"
-        "  --threads N           worker threads (default: all cores)\n"
+        "  --jobs N              worker threads (default: NVMR_JOBS "
+        "or all cores;\n"
+        "                        --threads is an alias)\n"
         "  --smoke               fixed small subset for CI (<30 s)\n"
         "  --stats-json FILE     write the sweep manifest as JSON\n"
         "  -v, --verbose         per-combination progress\n");
@@ -210,58 +211,54 @@ exploreCombo(const std::string &workload, ArchKind arch,
     }
 
     report.points = points.size();
-    std::atomic<uint64_t> next{0};
-    std::atomic<uint64_t> crashed{0};
-    std::atomic<uint64_t> divergent{0};
-    std::atomic<uint64_t> stuck{0};
 
-    unsigned nthreads = opt.threads
-                            ? opt.threads
-                            : std::max(1u,
-                                       std::thread::hardware_concurrency());
-    auto worker = [&]() {
-        for (;;) {
-            uint64_t idx = next.fetch_add(1);
-            if (idx >= points.size())
-                return;
+    // Fan the crash points across the engine; workers only simulate.
+    // The gathered outcomes are scanned in point order afterwards, so
+    // failure lines come out in a deterministic order whatever the
+    // worker count.
+    struct PointOutcome
+    {
+        bool crashed = false;
+        bool completed = false;
+        bool matched = false;
+    };
+    std::vector<PointOutcome> outs =
+        par::parallelMap<PointOutcome>(points.size(), [&](size_t idx) {
             const CrashPoint &cp = points[idx];
             FaultConfig faults;
             faults.enabled = true;
             faults.crashAtPersist = cp.persist;
             faults.crashAtCycle = cp.cycle;
-            bool matched = false;
+            PointOutcome out;
             RunResult r = runOnce(prog, arch, faults, nullptr, golden,
-                                  &matched);
-            if (r.injectedCrashes > 0)
-                ++crashed;
-            if (!r.completed) {
-                ++stuck;
-                std::printf("FAILURE: %s/%s stuck with crash at "
-                            "%s %llu\n",
-                            workload.c_str(), archKindName(arch),
-                            cp.persist ? "persist" : "cycle",
-                            static_cast<unsigned long long>(
-                                cp.persist ? cp.persist : cp.cycle));
-            } else if (!matched) {
-                ++divergent;
-                std::printf("FAILURE: %s/%s diverged with crash at "
-                            "%s %llu\n",
-                            workload.c_str(), archKindName(arch),
-                            cp.persist ? "persist" : "cycle",
-                            static_cast<unsigned long long>(
-                                cp.persist ? cp.persist : cp.cycle));
-            }
-        }
-    };
-    std::vector<std::thread> pool;
-    for (unsigned t = 0; t < nthreads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
+                                  &out.matched);
+            out.crashed = r.injectedCrashes > 0;
+            out.completed = r.completed;
+            return out;
+        });
 
-    report.crashed = crashed.load();
-    report.divergent = divergent.load();
-    report.stuck = stuck.load();
+    for (size_t idx = 0; idx < points.size(); ++idx) {
+        const CrashPoint &cp = points[idx];
+        const PointOutcome &out = outs[idx];
+        if (out.crashed)
+            ++report.crashed;
+        if (!out.completed) {
+            ++report.stuck;
+            std::printf("FAILURE: %s/%s stuck with crash at %s %llu\n",
+                        workload.c_str(), archKindName(arch),
+                        cp.persist ? "persist" : "cycle",
+                        static_cast<unsigned long long>(
+                            cp.persist ? cp.persist : cp.cycle));
+        } else if (!out.matched) {
+            ++report.divergent;
+            std::printf("FAILURE: %s/%s diverged with crash at "
+                        "%s %llu\n",
+                        workload.c_str(), archKindName(arch),
+                        cp.persist ? "persist" : "cycle",
+                        static_cast<unsigned long long>(
+                            cp.persist ? cp.persist : cp.cycle));
+        }
+    }
     return report.divergent == 0 && report.stuck == 0;
 }
 
@@ -298,9 +295,12 @@ main(int argc, char **argv)
             opt.cycleSamples = std::strtoull(need(i), nullptr, 10);
         } else if (a == "--seed") {
             opt.seed = std::strtoull(need(i), nullptr, 10);
-        } else if (a == "--threads") {
-            opt.threads = static_cast<unsigned>(
+        } else if (a == "--jobs" || a == "--threads") {
+            // --threads predates the engine; 0 keeps the old
+            // "use all cores" meaning (the engine's default).
+            opt.jobs = static_cast<unsigned>(
                 std::strtoul(need(i), nullptr, 10));
+            par::setGlobalJobs(opt.jobs);
         } else if (a == "--smoke") {
             opt.workloads = {"hist", "qsort"};
             opt.maxBackups = 5;

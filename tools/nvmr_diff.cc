@@ -17,6 +17,7 @@
  *     nvmr_diff --shrink case.repro out.repro   # minimize a failure
  *     nvmr_diff --bug rename_alias      # seeded-bug demo: catch,
  *                                       # shrink, save a .repro
+ *     nvmr_diff --jobs 8                # worker count (or NVMR_JOBS)
  *
  * Any failure saves a self-contained `.repro` file and prints the
  * one-line replay command; exit status is non-zero.
@@ -31,9 +32,11 @@
 #include "check/runner.hh"
 #include "check/schedule.hh"
 #include "check/shrink.hh"
+#include "cli.hh"
 #include "common/log.hh"
 #include "isa/assembler.hh"
 #include "obs/manifest.hh"
+#include "par/par.hh"
 #include "sim/randprog.hh"
 
 using namespace nvmr;
@@ -120,13 +123,22 @@ runBase(const CheckCase &base, uint32_t budget, uint64_t gen_seed,
 
     OracleResult oracle =
         runOracle(assemble(base.name, base.programText));
-    for (const CheckCase &c : schedules) {
-        CheckOutcome out = runChecked(c, &oracle);
+    // Fan the schedules across the engine; the precomputed oracle is
+    // shared read-only. Outcomes are scanned in schedule order so the
+    // failure reported (and the run count at that point) is the one a
+    // serial campaign would have hit first.
+    par::Progress progress("diff:" + base.name, schedules.size());
+    std::vector<CheckOutcome> outs = par::parallelMap<CheckOutcome>(
+        schedules.size(),
+        [&](size_t i) { return runChecked(schedules[i], &oracle); },
+        0, &progress);
+    progress.finish();
+    for (size_t i = 0; i < outs.size(); ++i) {
         ++*runs;
-        if (out.clean())
+        if (outs[i].clean())
             continue;
         ++*failures;
-        reportFailure(c, out, repro_path);
+        reportFailure(schedules[i], outs[i], repro_path);
         return false;
     }
     return true;
@@ -251,7 +263,8 @@ main(int argc, char **argv)
                 fatal("missing value for ", flag);
             return argv[++i];
         };
-        if (std::strcmp(argv[i], "--schedules") == 0) {
+        if (cli::handleJobsArg(argc, argv, i)) {
+        } else if (std::strcmp(argv[i], "--schedules") == 0) {
             per_arch = static_cast<uint32_t>(
                 std::strtoul(need("--schedules"), nullptr, 10));
         } else if (std::strcmp(argv[i], "--seed") == 0) {

@@ -17,18 +17,23 @@
  *                               # golden-image comparison
  *     nvmr_fuzz --one SEED IDX  # re-run one (seed, case) pair -- the
  *                               # command a failure prints
+ *     nvmr_fuzz --jobs 8 2000   # worker count (or NVMR_JOBS)
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "check/runner.hh"
+#include "cli.hh"
 #include "common/log.hh"
 #include "common/xorshift.hh"
 #include "isa/assembler.hh"
 #include "obs/manifest.hh"
+#include "par/par.hh"
 #include "sim/randprog.hh"
 #include "sim/simulator.hh"
 
@@ -122,35 +127,47 @@ makeCheckCase(const Program &, const std::string &text, uint64_t seed,
     return cc;
 }
 
-bool
-runCase(const Program &prog, const std::string &text, uint64_t seed,
-        uint64_t case_idx, const FuzzCase &c,
-        const FaultConfig *faults, bool oracle_mode,
-        ManifestWriter *manifest)
+/** What one (seed, case) evaluation produced. Workers only compute;
+ *  all printing, manifest writes and repro saving stay on the main
+ *  thread so output order and side effects are deterministic. */
+struct CaseOutcome
 {
+    bool skipped = false;  ///< case not applicable (ideal + non-JIT)
+    bool ok = true;
+    RunResult run;          ///< failure detail (both modes)
+    std::string checkText;  ///< oracle mode: describe() + detail()
+    CheckCase cc;           ///< oracle mode: repro payload
+    FaultConfig faults;
+    bool haveFaults = false;
+};
+
+CaseOutcome
+evalCase(const Program &prog, const std::string &text, uint64_t seed,
+         const FuzzCase &c, const FaultConfig *faults,
+         bool oracle_mode)
+{
+    CaseOutcome out;
+    if (faults) {
+        out.faults = *faults;
+        out.haveFaults = true;
+    }
+
     // The ideal architecture is only safe under perfect JIT.
-    if (c.arch == ArchKind::Ideal && c.policy != PolicyKind::Jit)
-        return true;
+    if (c.arch == ArchKind::Ideal && c.policy != PolicyKind::Jit) {
+        out.skipped = true;
+        return out;
+    }
 
     if (oracle_mode) {
         // Full checked harness: lockstep invariants + oracle diff.
-        CheckCase cc = makeCheckCase(prog, text, seed, c, faults);
-        CheckOutcome out = runChecked(cc);
-        if (out.clean())
-            return true;
-        if (manifest)
-            manifest->addRun(out.run);
-        std::printf("\nFAILURE: seed %llu on %s/%s at %g F: %s\n",
-                    static_cast<unsigned long long>(seed),
-                    archKindName(c.arch), policyKindName(c.policy),
-                    c.farads, out.describe().c_str());
-        std::fputs(out.detail().c_str(), stdout);
-        printReproLine(seed, case_idx, c, faults != nullptr, true);
-        if (saveRepro("nvmr_fuzz_failure.repro", cc))
-            std::printf("also saved nvmr_fuzz_failure.repro; shrink "
-                        "with: nvmr_diff --shrink "
-                        "nvmr_fuzz_failure.repro\n");
-        return false;
+        out.cc = makeCheckCase(prog, text, seed, c, faults);
+        CheckOutcome res = runChecked(out.cc);
+        out.ok = res.clean();
+        if (!out.ok) {
+            out.run = res.run;
+            out.checkText = res.describe() + "\n" + res.detail();
+        }
+        return out;
     }
 
     // Small capacitors need the co-sized platform (atomic backups
@@ -174,30 +191,49 @@ runCase(const Program &prog, const std::string &text, uint64_t seed,
     if (faults)
         opts.faults = *faults;
     Simulator sim(prog, c.arch, cfg, *policy, trace, opts);
-    RunResult r = sim.run();
-    if (r.completed && r.validated)
-        return true;
+    out.run = sim.run();
+    out.ok = out.run.completed && out.run.validated;
+    return out;
+}
 
+/** Print a failed outcome and save its repro (main thread only). */
+void
+reportFailure(const CaseOutcome &out, uint64_t seed,
+              uint64_t case_idx, const FuzzCase &c, bool faults_mode,
+              bool oracle_mode, ManifestWriter *manifest)
+{
     // Only failures land in the manifest: a fuzz campaign makes tens
     // of thousands of runs and the interesting ones are the repros.
     if (manifest)
-        manifest->addRun(r);
+        manifest->addRun(out.run);
+    if (oracle_mode) {
+        std::printf("\nFAILURE: seed %llu on %s/%s at %g F: ",
+                    static_cast<unsigned long long>(seed),
+                    archKindName(c.arch), policyKindName(c.policy),
+                    c.farads);
+        std::fputs(out.checkText.c_str(), stdout);
+        printReproLine(seed, case_idx, c, faults_mode, true);
+        if (saveRepro("nvmr_fuzz_failure.repro", out.cc))
+            std::printf("also saved nvmr_fuzz_failure.repro; shrink "
+                        "with: nvmr_diff --shrink "
+                        "nvmr_fuzz_failure.repro\n");
+        return;
+    }
     std::printf("\nFAILURE: seed %llu on %s/%s at %g F: %s\n",
                 static_cast<unsigned long long>(seed),
                 archKindName(c.arch), policyKindName(c.policy),
                 c.farads,
-                r.completed ? "final state diverged"
-                            : "did not complete");
-    if (faults)
+                out.run.completed ? "final state diverged"
+                                  : "did not complete");
+    if (out.haveFaults)
         std::printf("faults: crashAtPersist=%llu crashAtCycle=%llu "
                     "transientBitErrorRate=%g\n",
                     static_cast<unsigned long long>(
-                        faults->crashAtPersist),
+                        out.faults.crashAtPersist),
                     static_cast<unsigned long long>(
-                        faults->crashAtCycle),
-                    faults->transientBitErrorRate);
-    printReproLine(seed, case_idx, c, faults != nullptr, false);
-    return false;
+                        out.faults.crashAtCycle),
+                    out.faults.transientBitErrorRate);
+    printReproLine(seed, case_idx, c, faults_mode, false);
 }
 
 } // namespace
@@ -215,7 +251,8 @@ main(int argc, char **argv)
     uint64_t positional[2] = {100, 1};
     int npos = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--faults") == 0) {
+        if (cli::handleJobsArg(argc, argv, i)) {
+        } else if (std::strcmp(argv[i], "--faults") == 0) {
             faults_mode = true;
         } else if (std::strcmp(argv[i], "--oracle") == 0) {
             oracle_mode = true;
@@ -247,11 +284,14 @@ main(int argc, char **argv)
         FaultConfig fc;
         if (faults_mode)
             fc = randomFaults(one_seed, one_case);
-        bool ok = runCase(prog, text, one_seed, one_case, c,
-                          faults_mode ? &fc : nullptr, oracle_mode,
-                          nullptr);
-        std::printf(ok ? "case clean\n" : "case FAILED\n");
-        return ok ? 0 : 1;
+        CaseOutcome out =
+            evalCase(prog, text, one_seed, c,
+                     faults_mode ? &fc : nullptr, oracle_mode);
+        if (!out.ok)
+            reportFailure(out, one_seed, one_case, c, faults_mode,
+                          oracle_mode, nullptr);
+        std::printf(out.ok ? "case clean\n" : "case FAILED\n");
+        return out.ok ? 0 : 1;
     }
 
     ManifestWriter manifest("nvmr_fuzz");
@@ -272,35 +312,76 @@ main(int argc, char **argv)
         manifest.writeFile(stats_json_path);
     };
 
+    // Fan (program, case) pairs across the engine in chunks of 10
+    // programs. Workers only simulate; the main thread scans each
+    // chunk's outcomes in canonical order, so the first failure
+    // reported -- and the run count at that point -- is the same
+    // whatever the worker count.
+    struct Pair
+    {
+        uint64_t seed;
+        uint64_t caseIdx; ///< 1-based index into kCases
+        size_t prog;      ///< index into the chunk's program vector
+    };
+    constexpr uint64_t kChunkProgs = 10;
+    uint64_t cases_per_prog =
+        kNumCases - (faults_mode ? 1 : 0); // ideal skipped on faults
+    par::Progress progress("fuzz", iterations * cases_per_prog);
+
     uint64_t runs = 0;
-    for (uint64_t i = 0; i < iterations; ++i) {
-        uint64_t seed = base_seed + i;
-        std::string text = makeRandomProgram(seed);
-        Program prog =
-            assemble("fuzz" + std::to_string(seed), text);
-        uint64_t case_idx = 0;
-        for (const FuzzCase &c : kCases) {
-            ++case_idx;
-            // Ideal relies on the perfect-JIT assumption that power
-            // never fails unexpectedly; injected crashes break it.
-            if (faults_mode && c.arch == ArchKind::Ideal)
-                continue;
-            FaultConfig fc;
-            if (faults_mode)
-                fc = randomFaults(seed, case_idx);
-            if (!runCase(prog, text, seed, case_idx, c,
-                         faults_mode ? &fc : nullptr, oracle_mode,
-                         mptr)) {
+    for (uint64_t i = 0; i < iterations; i += kChunkProgs) {
+        uint64_t chunk = std::min(kChunkProgs, iterations - i);
+        std::vector<std::string> texts(chunk);
+        std::vector<Program> progs;
+        std::vector<Pair> pairs;
+        for (uint64_t p = 0; p < chunk; ++p) {
+            uint64_t seed = base_seed + i + p;
+            texts[p] = makeRandomProgram(seed);
+            progs.push_back(
+                assemble("fuzz" + std::to_string(seed), texts[p]));
+            for (uint64_t ci = 1; ci <= kNumCases; ++ci) {
+                // Ideal relies on the perfect-JIT assumption that
+                // power never fails unexpectedly; injected crashes
+                // break it.
+                if (faults_mode &&
+                    kCases[ci - 1].arch == ArchKind::Ideal)
+                    continue;
+                pairs.push_back(Pair{seed, ci, p});
+            }
+        }
+        std::vector<CaseOutcome> outs =
+            par::parallelMap<CaseOutcome>(
+                pairs.size(),
+                [&](size_t k) {
+                    const Pair &pr = pairs[k];
+                    const FuzzCase &c = kCases[pr.caseIdx - 1];
+                    FaultConfig fc;
+                    if (faults_mode)
+                        fc = randomFaults(pr.seed, pr.caseIdx);
+                    return evalCase(progs[pr.prog], texts[pr.prog],
+                                    pr.seed, c,
+                                    faults_mode ? &fc : nullptr,
+                                    oracle_mode);
+                },
+                0, &progress);
+        for (size_t k = 0; k < pairs.size(); ++k) {
+            if (!outs[k].ok) {
+                const Pair &pr = pairs[k];
+                reportFailure(outs[k], pr.seed, pr.caseIdx,
+                              kCases[pr.caseIdx - 1], faults_mode,
+                              oracle_mode, mptr);
                 writeManifest(runs, false);
                 return 1;
             }
             ++runs;
         }
-        if ((i + 1) % 10 == 0)
+        uint64_t done = i + chunk;
+        if (done % 10 == 0)
             std::printf("%llu programs, %llu runs, all consistent\n",
-                        static_cast<unsigned long long>(i + 1),
+                        static_cast<unsigned long long>(done),
                         static_cast<unsigned long long>(runs));
     }
+    progress.finish();
     std::printf("fuzzing done: %llu runs, no divergence\n",
                 static_cast<unsigned long long>(runs));
     writeManifest(runs, true);

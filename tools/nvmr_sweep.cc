@@ -8,6 +8,7 @@
  *     nvmr_sweep > sweep.csv
  *     nvmr_sweep --traces 3 --archs clank,nvmr --caps 0.1,0.0075
  *     nvmr_sweep --workloads hist --stats-json sweep.json
+ *     nvmr_sweep --jobs 8                      # worker count
  */
 
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "cli.hh"
 #include "common/log.hh"
 #include "obs/manifest.hh"
+#include "par/par.hh"
 #include "sim/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -71,6 +73,8 @@ main(int argc, char **argv)
     };
 
     for (int i = 1; i < argc; ++i) {
+        if (cli::handleJobsArg(argc, argv, i))
+            continue;
         std::string a = argv[i];
         if (a == "--traces") {
             num_traces = std::atoi(need(i));
@@ -105,7 +109,40 @@ main(int argc, char **argv)
 
     auto traces = HarvestTrace::standardSet(num_traces);
     ManifestWriter manifest("nvmr_sweep");
-    uint64_t cells = 0;
+
+    // Flatten the grid into independent cells, assemble every program
+    // up front (workers must not race the assembler caches), fan the
+    // cells across the engine, then print in canonical grid order.
+    struct Cell
+    {
+        size_t wl, ai, pi;
+        double farads;
+    };
+    std::vector<Program> programs;
+    for (const std::string &wl : workloads)
+        programs.push_back(assembleWorkload(wl));
+    std::vector<Cell> cells;
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        for (size_t ai = 0; ai < arch_kinds.size(); ++ai)
+            for (size_t pi = 0; pi < policy_kinds.size(); ++pi)
+                for (double farads : caps)
+                    cells.push_back(Cell{wi, ai, pi, farads});
+
+    par::Progress progress("sweep", cells.size());
+    std::vector<std::vector<RunResult>> cell_runs =
+        par::parallelMap<std::vector<RunResult>>(
+            cells.size(),
+            [&](size_t i) {
+                const Cell &c = cells[i];
+                SystemConfig cfg;
+                cfg.capacitorFarads = c.farads;
+                PolicySpec spec;
+                spec.kind = policy_kinds[c.pi];
+                return runOnTraces(programs[c.wl], arch_kinds[c.ai],
+                                   cfg, spec, traces);
+            },
+            0, &progress);
+    progress.finish();
 
     std::printf(
         "workload,arch,policy,capacitor_f,total_uj,forward_uj,"
@@ -113,53 +150,42 @@ main(int argc, char **argv)
         "backups,violations,renames,reclaims,power_failures,"
         "nvm_writes,max_wear,completed,validated\n");
 
-    for (const std::string &wl : workloads) {
-        Program prog = assembleWorkload(wl);
-        for (size_t ai = 0; ai < arch_kinds.size(); ++ai) {
-            ArchKind arch = arch_kinds[ai];
-            for (size_t pi = 0; pi < policy_kinds.size(); ++pi) {
-                PolicySpec spec;
-                spec.kind = policy_kinds[pi];
-                for (double farads : caps) {
-                    SystemConfig cfg;
-                    cfg.capacitorFarads = farads;
-                    if (cells == 0)
-                        manifest.setConfig(cfg);
-                    std::vector<RunResult> runs =
-                        runOnTraces(prog, arch, cfg, spec, traces);
-                    Aggregate a = aggregate(runs);
-                    ++cells;
-                    if (!stats_json_path.empty())
-                        for (const RunResult &r : runs)
-                            manifest.addRun(r);
-                    std::printf(
-                        "%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.2f,"
-                        "%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,"
-                        "%.0f,%d,%d\n",
-                        wl.c_str(), archs[ai].c_str(),
-                        policies[pi].c_str(), farads,
-                        a.totalEnergyNj / 1000.0,
-                        a.energyOf(ECat::Forward) / 1000.0,
-                        (a.energyOf(ECat::ForwardOverhead) +
-                         a.energyOf(ECat::BackupOverhead) +
-                         a.energyOf(ECat::RestoreOverhead)) /
-                            1000.0,
-                        a.energyOf(ECat::Backup) / 1000.0,
-                        a.energyOf(ECat::Restore) / 1000.0,
-                        a.energyOf(ECat::Reclaim) / 1000.0,
-                        a.energyOf(ECat::Dead) / 1000.0, a.backups,
-                        a.violations, a.renames, a.reclaims,
-                        a.powerFailures, a.nvmWrites, a.maxWear,
-                        a.allCompleted ? 1 : 0,
-                        a.allValidated ? 1 : 0);
-                    std::fflush(stdout);
-                }
-            }
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        if (i == 0) {
+            SystemConfig cfg;
+            cfg.capacitorFarads = c.farads;
+            manifest.setConfig(cfg);
         }
+        Aggregate a = aggregate(cell_runs[i]);
+        if (!stats_json_path.empty())
+            for (const RunResult &r : cell_runs[i])
+                manifest.addRun(r);
+        std::printf(
+            "%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.2f,"
+            "%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f,"
+            "%.0f,%d,%d\n",
+            workloads[c.wl].c_str(), archs[c.ai].c_str(),
+            policies[c.pi].c_str(), c.farads,
+            a.totalEnergyNj / 1000.0,
+            a.energyOf(ECat::Forward) / 1000.0,
+            (a.energyOf(ECat::ForwardOverhead) +
+             a.energyOf(ECat::BackupOverhead) +
+             a.energyOf(ECat::RestoreOverhead)) /
+                1000.0,
+            a.energyOf(ECat::Backup) / 1000.0,
+            a.energyOf(ECat::Restore) / 1000.0,
+            a.energyOf(ECat::Reclaim) / 1000.0,
+            a.energyOf(ECat::Dead) / 1000.0, a.backups,
+            a.violations, a.renames, a.reclaims,
+            a.powerFailures, a.nvmWrites, a.maxWear,
+            a.allCompleted ? 1 : 0, a.allValidated ? 1 : 0);
     }
+    std::fflush(stdout);
 
     if (!stats_json_path.empty()) {
-        manifest.addExtra("cells", static_cast<double>(cells));
+        manifest.addExtra("cells",
+                          static_cast<double>(cells.size()));
         manifest.addExtra("traces_per_cell",
                           static_cast<double>(traces.size()));
         manifest.writeFile(stats_json_path);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
 
@@ -38,6 +39,8 @@ main(int argc, char **argv)
     };
 
     for (int i = 1; i < argc; ++i) {
+        if (cli::handleJobsArg(argc, argv, i))
+            continue;
         std::string a = argv[i];
         if (a == "-a" || a == "--arch") {
             arch_name = need(i);
