@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tiny length-prefixed binary codec for journal payloads. Cell
+ * results are serialized with BlobWriter when they are journaled and
+ * decoded with BlobReader on resume; because doubles round-trip
+ * bit-exactly, a resumed campaign's merged output is byte-identical
+ * to an uninterrupted run (the crash-resume ctest enforces this).
+ *
+ * All integers little-endian; strings and vectors are u32
+ * length-prefixed. BlobReader never throws: any overrun clears ok()
+ * and every later read returns zero values, so a caller checks ok()
+ * once at the end.
+ */
+
+#ifndef NVMR_CAMPAIGN_BLOB_HH
+#define NVMR_CAMPAIGN_BLOB_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace nvmr::campaign
+{
+
+class BlobWriter
+{
+  public:
+    void u8(uint8_t v) { out.push_back(static_cast<char>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u64(bits);
+    }
+
+    void
+    f32(float v)
+    {
+        uint32_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        u32(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        out += s;
+    }
+
+    std::string take() { return std::move(out); }
+    const std::string &data() const { return out; }
+
+  private:
+    std::string out;
+};
+
+class BlobReader
+{
+  public:
+    explicit BlobReader(const std::string &bytes) : buf(bytes) {}
+
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return static_cast<uint8_t>(buf[pos++]);
+    }
+
+    bool b() { return u8() != 0; }
+
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = v << 8 | static_cast<uint8_t>(buf[pos + i]);
+        pos += 4;
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = v << 8 | static_cast<uint8_t>(buf[pos + i]);
+        pos += 8;
+        return v;
+    }
+
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    float
+    f32()
+    {
+        uint32_t bits = u32();
+        float v;
+        std::memcpy(&v, &bits, sizeof v);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    /** All reads so far were in bounds and the buffer is drained iff
+     *  the caller read everything it wrote. */
+    bool ok() const { return !overrun; }
+    bool atEnd() const { return pos == buf.size(); }
+
+  private:
+    bool
+    need(size_t n)
+    {
+        if (overrun || buf.size() - pos < n) {
+            overrun = true;
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &buf;
+    size_t pos = 0;
+    bool overrun = false;
+};
+
+} // namespace nvmr::campaign
+
+#endif // NVMR_CAMPAIGN_BLOB_HH

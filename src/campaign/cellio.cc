@@ -1,0 +1,212 @@
+#include "campaign/cellio.hh"
+
+#include "campaign/blob.hh"
+
+namespace nvmr::campaign
+{
+
+namespace
+{
+
+void
+putRun(BlobWriter &w, const RunResult &r)
+{
+    w.str(r.program);
+    w.str(r.arch);
+    w.str(r.policy);
+    w.str(r.trace);
+    w.b(r.completed);
+    w.b(r.validated);
+    w.b(r.validationChecked);
+    w.u64(r.activeCycles);
+    w.u64(r.totalCycles);
+    w.u64(r.instructions);
+    w.u32(static_cast<uint32_t>(r.energy.size()));
+    for (NanoJoules e : r.energy)
+        w.f64(e);
+    w.f64(r.totalEnergyNj);
+    w.u64(r.backups);
+    w.u32(static_cast<uint32_t>(r.backupsByReason.size()));
+    for (uint64_t b : r.backupsByReason)
+        w.u64(b);
+    w.u64(r.violations);
+    w.u64(r.renames);
+    w.u64(r.reclaims);
+    w.u64(r.restores);
+    w.u64(r.powerFailures);
+    w.u64(r.nvmReads);
+    w.u64(r.nvmWrites);
+    w.u64(r.maxWear);
+    w.u64(r.cacheHits);
+    w.u64(r.cacheMisses);
+    w.u64(r.tornBackups);
+    w.u64(r.injectedCrashes);
+    w.u64(r.eccCorrected);
+    w.u64(r.eccUncorrectable);
+}
+
+bool
+getRun(BlobReader &r, RunResult &out)
+{
+    out.program = r.str();
+    out.arch = r.str();
+    out.policy = r.str();
+    out.trace = r.str();
+    out.completed = r.b();
+    out.validated = r.b();
+    out.validationChecked = r.b();
+    out.activeCycles = r.u64();
+    out.totalCycles = r.u64();
+    out.instructions = r.u64();
+    uint32_t ne = r.u32();
+    if (ne != out.energy.size())
+        return false;
+    for (auto &e : out.energy)
+        e = r.f64();
+    out.totalEnergyNj = r.f64();
+    out.backups = r.u64();
+    uint32_t nb = r.u32();
+    if (nb != out.backupsByReason.size())
+        return false;
+    for (auto &b : out.backupsByReason)
+        b = r.u64();
+    out.violations = r.u64();
+    out.renames = r.u64();
+    out.reclaims = r.u64();
+    out.restores = r.u64();
+    out.powerFailures = r.u64();
+    out.nvmReads = r.u64();
+    out.nvmWrites = r.u64();
+    out.maxWear = r.u64();
+    out.cacheHits = r.u64();
+    out.cacheMisses = r.u64();
+    out.tornBackups = r.u64();
+    out.injectedCrashes = r.u64();
+    out.eccCorrected = r.u64();
+    out.eccUncorrectable = r.u64();
+    return r.ok();
+}
+
+} // namespace
+
+std::string
+encodeRunResult(const RunResult &r)
+{
+    BlobWriter w;
+    putRun(w, r);
+    return w.take();
+}
+
+bool
+decodeRunResult(const std::string &bytes, RunResult &r)
+{
+    BlobReader br(bytes);
+    return getRun(br, r) && br.atEnd();
+}
+
+std::string
+encodeRunResults(const std::vector<RunResult> &runs)
+{
+    BlobWriter w;
+    w.u32(static_cast<uint32_t>(runs.size()));
+    for (const RunResult &r : runs)
+        putRun(w, r);
+    return w.take();
+}
+
+bool
+decodeRunResults(const std::string &bytes,
+                 std::vector<RunResult> &runs)
+{
+    BlobReader r(bytes);
+    uint32_t n = r.u32();
+    // Element counts larger than the payload itself are corruption;
+    // refuse before resize() turns them into an allocation.
+    if (n > bytes.size())
+        return false;
+    runs.clear();
+    runs.resize(n);
+    for (uint32_t i = 0; i < n; ++i)
+        if (!getRun(r, runs[i]))
+            return false;
+    return r.ok() && r.atEnd();
+}
+
+std::string
+encodeSamples(const std::vector<SpendthriftSample> &s)
+{
+    BlobWriter w;
+    w.u32(static_cast<uint32_t>(s.size()));
+    for (const SpendthriftSample &x : s) {
+        w.f32(x.harvestMw);
+        w.f32(x.capVolts);
+        w.f32(x.label);
+    }
+    return w.take();
+}
+
+bool
+decodeSamples(const std::string &bytes,
+              std::vector<SpendthriftSample> &s)
+{
+    BlobReader r(bytes);
+    uint32_t n = r.u32();
+    if (n > bytes.size())
+        return false;
+    s.clear();
+    s.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        s[i].harvestMw = r.f32();
+        s[i].capVolts = r.f32();
+        s[i].label = r.f32();
+    }
+    return r.ok() && r.atEnd();
+}
+
+std::string
+encodeCensus(const CensusResult &c)
+{
+    BlobWriter w;
+    w.b(c.completed);
+    w.u64(c.totalCycles);
+    w.u64(c.persistPoints);
+    w.u32(static_cast<uint32_t>(c.windows.size()));
+    for (const FaultInjector::BackupWindow &win : c.windows) {
+        w.u64(win.firstPersist);
+        w.u64(win.lastPersist);
+        w.u64(win.commitPersist);
+    }
+    w.u32(static_cast<uint32_t>(c.commitCycles.size()));
+    for (uint64_t cc : c.commitCycles)
+        w.u64(cc);
+    return w.take();
+}
+
+bool
+decodeCensus(const std::string &bytes, CensusResult &c)
+{
+    BlobReader r(bytes);
+    c.completed = r.b();
+    c.totalCycles = r.u64();
+    c.persistPoints = r.u64();
+    uint32_t nw = r.u32();
+    if (nw > bytes.size())
+        return false;
+    c.windows.clear();
+    c.windows.resize(nw);
+    for (uint32_t i = 0; i < nw; ++i) {
+        c.windows[i].firstPersist = r.u64();
+        c.windows[i].lastPersist = r.u64();
+        c.windows[i].commitPersist = r.u64();
+    }
+    uint32_t nc = r.u32();
+    if (nc > bytes.size())
+        return false;
+    c.commitCycles.clear();
+    c.commitCycles.resize(nc);
+    for (uint32_t i = 0; i < nc; ++i)
+        c.commitCycles[i] = r.u64();
+    return r.ok() && r.atEnd();
+}
+
+} // namespace nvmr::campaign

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Journal payload codecs for the campaign tools: bit-exact binary
+ * round-trips of the structures each tool's cells produce
+ * (RunResult vectors for sweeps, Spendthrift samples for training,
+ * the census/point outcomes of the crash explorer and differ). A
+ * resumed campaign decodes these payloads instead of re-running the
+ * cell, and because doubles round-trip exactly, the merged output is
+ * byte-identical to an uninterrupted run.
+ */
+
+#ifndef NVMR_CAMPAIGN_CELLIO_HH
+#define NVMR_CAMPAIGN_CELLIO_HH
+
+#include <string>
+#include <vector>
+
+#include "check/runner.hh"
+#include "power/spendthrift.hh"
+#include "sim/simulator.hh"
+
+namespace nvmr::campaign
+{
+
+/** One RunResult, every field. */
+std::string encodeRunResult(const RunResult &r);
+bool decodeRunResult(const std::string &bytes, RunResult &r);
+
+/** A cell's RunResult vector (e.g. one sweep cell across traces). */
+std::string encodeRunResults(const std::vector<RunResult> &runs);
+bool decodeRunResults(const std::string &bytes,
+                      std::vector<RunResult> &runs);
+
+/** Spendthrift training samples of one (workload, trace) cell. */
+std::string encodeSamples(const std::vector<SpendthriftSample> &s);
+bool decodeSamples(const std::string &bytes,
+                   std::vector<SpendthriftSample> &s);
+
+/** A census cell (the fault-free mapping pass of nvmr_diff /
+ *  nvmr_crashtest). */
+std::string encodeCensus(const CensusResult &c);
+bool decodeCensus(const std::string &bytes, CensusResult &c);
+
+} // namespace nvmr::campaign
+
+#endif // NVMR_CAMPAIGN_CELLIO_HH

@@ -1,0 +1,370 @@
+#include "campaign/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace nvmr::campaign
+{
+
+namespace
+{
+
+/** Frame header: u32 payload_len | u8 type | u64 key. */
+constexpr size_t kFrameHeaderBytes = 4 + 1 + 8;
+constexpr size_t kFrameTrailerBytes = 4; // crc32
+constexpr size_t kMagicBytes = 8;
+
+/** Cap a single record at 256 MiB: larger lengths in a frame header
+ *  are certainly corruption, not data. */
+constexpr uint32_t kMaxPayloadBytes = 256u << 20;
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = v << 8 | p[i];
+    return v;
+}
+
+const uint32_t *
+crcTable()
+{
+    static uint32_t table[256];
+    static bool built = false;
+    if (!built) {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            table[i] = c;
+        }
+        built = true;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t n, uint32_t seed)
+{
+    const uint32_t *table = crcTable();
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t
+fnv1a(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint64_t h = 14695981039346656037ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    return fnv1a(s.data(), s.size());
+}
+
+uint64_t
+cellKey(const std::string &stage, uint64_t index)
+{
+    std::string id = stage;
+    id += ':';
+    id += std::to_string(index);
+    return fnv1a(id);
+}
+
+std::string
+headerPayload(uint64_t config_hash, const std::string &tool)
+{
+    std::string out;
+    putU64(out, config_hash);
+    out += tool;
+    return out;
+}
+
+bool
+parseHeaderPayload(const std::string &payload, uint64_t &config_hash,
+                   std::string &tool)
+{
+    if (payload.size() < 8)
+        return false;
+    config_hash =
+        getU64(reinterpret_cast<const uint8_t *>(payload.data()));
+    tool = payload.substr(8);
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Loading
+// ----------------------------------------------------------------------
+
+JournalContents
+loadJournal(const std::string &path)
+{
+    JournalContents out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        out.error = "cannot open " + path + ": " +
+                    std::strerror(errno);
+        return out;
+    }
+    std::string bytes;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.append(buf, got);
+    bool read_error = std::ferror(f) != 0;
+    std::fclose(f);
+    if (read_error) {
+        out.error = "read error on " + path;
+        return out;
+    }
+
+    if (bytes.size() < kMagicBytes ||
+        std::memcmp(bytes.data(), kJournalMagic, kMagicBytes) != 0) {
+        out.error = path + " is not a " +
+                    std::string(kJournalSchema) + " journal";
+        return out;
+    }
+
+    const uint8_t *data =
+        reinterpret_cast<const uint8_t *>(bytes.data());
+    size_t off = kMagicBytes;
+    bool sawHeader = false;
+    while (off < bytes.size()) {
+        // An incomplete frame (torn final write) ends the journal.
+        if (bytes.size() - off <
+            kFrameHeaderBytes + kFrameTrailerBytes) {
+            out.truncatedTail = true;
+            break;
+        }
+        uint32_t len = getU32(data + off);
+        uint8_t type = data[off + 4];
+        uint64_t key = getU64(data + off + 5);
+        if (len > kMaxPayloadBytes ||
+            bytes.size() - off - kFrameHeaderBytes -
+                    kFrameTrailerBytes < len) {
+            out.truncatedTail = true;
+            break;
+        }
+        const uint8_t *payload = data + off + kFrameHeaderBytes;
+        uint32_t stored = getU32(payload + len);
+        // CRC covers type + key + payload (offset 4 .. end of payload).
+        uint32_t computed =
+            crc32(data + off + 4, 1 + 8 + len);
+        if (stored != computed) {
+            // A corrupt record ends the trustworthy prefix: the
+            // record and everything after it are rejected.
+            out.truncatedTail = true;
+            break;
+        }
+        std::string body(reinterpret_cast<const char *>(payload), len);
+        if (!sawHeader) {
+            if (type != static_cast<uint8_t>(RecordType::Header) ||
+                !parseHeaderPayload(body, out.configHash, out.tool)) {
+                out.error = path + ": first record is not an intact "
+                                   "campaign header";
+                return out;
+            }
+            sawHeader = true;
+        } else if (type == static_cast<uint8_t>(RecordType::Cell)) {
+            out.cells[key] = std::move(body);
+        } else if (type ==
+                   static_cast<uint8_t>(RecordType::Quarantine)) {
+            out.quarantined[key] = std::move(body);
+        }
+        // Unknown record types are skipped (forward compatibility).
+        off += kFrameHeaderBytes + len + kFrameTrailerBytes;
+        out.validBytes = off;
+    }
+    if (!sawHeader) {
+        out.error = path + ": no intact campaign header record";
+        return out;
+    }
+    out.validBytes = out.validBytes ? out.validBytes
+                                    : kMagicBytes;
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Writing
+// ----------------------------------------------------------------------
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+void
+JournalWriter::degrade(const std::string &why)
+{
+    if (degradedFlag)
+        return;
+    degradedFlag = true;
+    errorText = why;
+    // Warn once; the campaign keeps computing without checkpoints
+    // and the tool exits nonzero at the end (docs/operations.md).
+    warn("campaign journal degraded: ", why,
+         " -- continuing without checkpointing");
+    close();
+}
+
+bool
+JournalWriter::writeAll(const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (w == 0)
+            return false;
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return true;
+}
+
+bool
+JournalWriter::openFresh(const std::string &path,
+                         uint64_t config_hash,
+                         const std::string &tool)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    pathName = path;
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        degrade("cannot create " + path + ": " +
+                std::strerror(errno));
+        return false;
+    }
+    if (!writeAll(kJournalMagic, kMagicBytes)) {
+        degrade("short write on " + path + ": " +
+                std::strerror(errno));
+        return false;
+    }
+    return appendLocked(RecordType::Header, 0,
+                        headerPayload(config_hash, tool));
+}
+
+bool
+JournalWriter::openResume(const std::string &path,
+                          uint64_t valid_bytes)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    pathName = path;
+    fd = ::open(path.c_str(), O_WRONLY, 0644);
+    if (fd < 0) {
+        degrade("cannot open " + path + ": " + std::strerror(errno));
+        return false;
+    }
+    // Roll back any torn tail so new records start on a frame
+    // boundary.
+    if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+        ::lseek(fd, 0, SEEK_END) < 0) {
+        degrade("cannot truncate " + path + ": " +
+                std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+JournalWriter::append(RecordType type, uint64_t key,
+                      const std::string &payload)
+{
+    std::lock_guard<std::mutex> g(mutex);
+    return appendLocked(type, key, payload);
+}
+
+bool
+JournalWriter::appendLocked(RecordType type, uint64_t key,
+                            const std::string &payload)
+{
+    if (fd < 0 || degradedFlag)
+        return false;
+
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + payload.size() +
+                  kFrameTrailerBytes);
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    frame.push_back(static_cast<char>(type));
+    putU64(frame, key);
+    frame += payload;
+    uint32_t crc = crc32(frame.data() + 4, frame.size() - 4);
+    putU32(frame, crc);
+
+    off_t before = ::lseek(fd, 0, SEEK_CUR);
+    if (!writeAll(frame.data(), frame.size())) {
+        // Disk full / short write: try to roll back to the previous
+        // intact record so the on-disk prefix stays valid, then
+        // degrade (the loader would cope with the torn tail anyway).
+        std::string why = std::string("short write: ") +
+                          std::strerror(errno);
+        if (before >= 0)
+            (void)::ftruncate(fd, before);
+        degrade(why);
+        return false;
+    }
+    if (::fsync(fd) != 0) {
+        degrade(std::string("fsync failed: ") +
+                std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+} // namespace nvmr::campaign

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Append-only campaign journal ("nvmr-campaign-journal-v1"): the
+ * durable record that makes long campaigns crash-safe. Every
+ * completed cell is appended as one CRC-framed record and fsync'd, so
+ * a SIGKILL, power loss, or torn final write costs at most the cells
+ * that were in flight. `--resume` loads the journal, drops any
+ * torn/corrupt tail, refuses to continue if the recorded config hash
+ * does not match the requested campaign, and replays every completed
+ * cell without re-running it (docs/operations.md).
+ *
+ * File layout:
+ *
+ *     8 bytes   magic "nvmrjrn1"
+ *     records   u32 payload_len | u8 type | u64 cell_key |
+ *               payload bytes | u32 crc32(type..payload)
+ *
+ * All integers are little-endian. The first record must be a Header
+ * record whose payload is the campaign config hash (u64) followed by
+ * the tool name. A reader stops at the first record whose frame is
+ * incomplete or whose CRC does not match; everything before it is
+ * trusted, everything at and after it is rejected.
+ */
+
+#ifndef NVMR_CAMPAIGN_JOURNAL_HH
+#define NVMR_CAMPAIGN_JOURNAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace nvmr::campaign
+{
+
+/** Journal schema identifier (also the file magic, 8 bytes). */
+constexpr const char *kJournalMagic = "nvmrjrn1";
+constexpr const char *kJournalSchema = "nvmr-campaign-journal-v1";
+
+/** Record types. */
+enum class RecordType : uint8_t
+{
+    Header = 0,     ///< config hash + tool name; first record
+    Cell = 1,       ///< a completed cell's result payload
+    Quarantine = 2, ///< a poison cell's attempts + reason
+};
+
+/** CRC-32 (IEEE 802.3, reflected 0xEDB88320), the framing checksum. */
+uint32_t crc32(const void *data, size_t n, uint32_t seed = 0);
+
+/** FNV-1a 64-bit, used for config hashes and cell keys. */
+uint64_t fnv1a(const void *data, size_t n);
+uint64_t fnv1a(const std::string &s);
+
+/** Stable 64-bit identity of cell `index` within `stage`. */
+uint64_t cellKey(const std::string &stage, uint64_t index);
+
+/** Render / parse the Header record payload. */
+std::string headerPayload(uint64_t config_hash,
+                          const std::string &tool);
+bool parseHeaderPayload(const std::string &payload,
+                        uint64_t &config_hash, std::string &tool);
+
+/** Everything a journal load recovered. */
+struct JournalContents
+{
+    /** Non-empty when the file is unusable (missing, bad magic, no
+     *  intact header record): nothing below is meaningful. */
+    std::string error;
+
+    /** True when a torn or CRC-corrupt tail was dropped; the journal
+     *  is still usable up to validBytes. */
+    bool truncatedTail = false;
+
+    /** Byte offset of the end of the last intact record; a resuming
+     *  writer truncates the file here before appending. */
+    uint64_t validBytes = 0;
+
+    uint64_t configHash = 0;
+    std::string tool;
+
+    /** cell key -> result payload, for completed cells. */
+    std::unordered_map<uint64_t, std::string> cells;
+
+    /** cell key -> quarantine payload (attempts + reason). */
+    std::unordered_map<uint64_t, std::string> quarantined;
+};
+
+/** Load and validate a journal; never throws or exits. */
+JournalContents loadJournal(const std::string &path);
+
+/**
+ * The appending side. Thread-safe: workers append records as cells
+ * finish. Every record is fsync'd before append() returns, so a
+ * record that was reported durable survives SIGKILL.
+ *
+ * The writer degrades instead of dying: the first failed open, short
+ * write, or fsync (disk full, read-only fs, ...) warns once, rolls
+ * the file back to the last intact record if possible, and turns
+ * every later append into a no-op. The campaign keeps computing; the
+ * tool exits nonzero (kExitDegraded) at the end.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Create/truncate `path` and write magic + Header record. */
+    bool openFresh(const std::string &path, uint64_t config_hash,
+                   const std::string &tool);
+
+    /** Open an existing journal for resumption: truncate to
+     *  `valid_bytes` (from loadJournal) and position at the end. */
+    bool openResume(const std::string &path, uint64_t valid_bytes);
+
+    /** Append one record durably; false once degraded. */
+    bool append(RecordType type, uint64_t key,
+                const std::string &payload);
+
+    bool isOpen() const { return fd >= 0; }
+    bool degraded() const { return degradedFlag; }
+    const std::string &error() const { return errorText; }
+
+    void close();
+
+  private:
+    bool appendLocked(RecordType type, uint64_t key,
+                      const std::string &payload);
+    bool writeAll(const void *data, size_t n);
+    void degrade(const std::string &why);
+
+    int fd = -1;
+    bool degradedFlag = false;
+    std::string errorText;
+    std::string pathName;
+    std::mutex mutex;
+};
+
+} // namespace nvmr::campaign
+
+#endif // NVMR_CAMPAIGN_JOURNAL_HH

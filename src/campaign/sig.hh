@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM handling for campaign tools. The
+ * handler only records the signal; the campaign layer polls the flag
+ * before dispatching each cell, skips the rest of the work-list, and
+ * the tool flushes its partial manifest (the journal is already
+ * durable per cell) before exiting with 128 + signal. A second
+ * SIGINT/SIGTERM force-exits immediately for unresponsive runs.
+ */
+
+#ifndef NVMR_CAMPAIGN_SIG_HH
+#define NVMR_CAMPAIGN_SIG_HH
+
+namespace nvmr::campaign
+{
+
+/** Install the SIGINT/SIGTERM interrupt handlers (idempotent). */
+void installSignalHandlers();
+
+/** True once SIGINT or SIGTERM has been received. */
+bool interruptRequested();
+
+/** The pending signal number, or 0 when none. */
+int pendingSignal();
+
+/** Conventional exit code for the pending signal (128 + signo);
+ *  kExitOk when no signal is pending. */
+int interruptExitCode();
+
+/** Test hook: fake (signo > 0) or clear (signo == 0) an interrupt. */
+void setInterruptForTest(int signo);
+
+} // namespace nvmr::campaign
+
+#endif // NVMR_CAMPAIGN_SIG_HH

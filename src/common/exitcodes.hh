@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Standardized process exit codes for every campaign tool
+ * (docs/operations.md). The codes separate "the system under test is
+ * wrong" from "the harness could not do its job" from "the user asked
+ * for something malformed", so fleet drivers and CI can triage a
+ * failed campaign without parsing its output.
+ */
+
+#ifndef NVMR_COMMON_EXITCODES_HH
+#define NVMR_COMMON_EXITCODES_HH
+
+namespace nvmr
+{
+
+/** Campaign finished and every check passed. */
+constexpr int kExitOk = 0;
+
+/** A verification failure in the simulated system: oracle mismatch,
+ *  final-state divergence, invariant violation, or a stuck run. */
+constexpr int kExitMismatch = 1;
+
+/** User error: bad flags, malformed input files, or a `--resume`
+ *  journal whose config hash does not match the requested campaign.
+ *  fatal() exits with this code. */
+constexpr int kExitUsage = 2;
+
+/** The campaign itself degraded but kept going: cells were
+ *  quarantined after watchdog timeouts, the journal hit disk-full /
+ *  short writes, or stdout could not be flushed. Results that were
+ *  produced are valid; coverage is incomplete. */
+constexpr int kExitDegraded = 3;
+
+/** Interrupt exit codes follow the shell convention 128 + signal
+ *  (130 = SIGINT, 143 = SIGTERM). The journal and a partial manifest
+ *  are flushed before exiting. */
+constexpr int kExitSignalBase = 128;
+
+} // namespace nvmr
+
+#endif // NVMR_COMMON_EXITCODES_HH

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/exitcodes.hh"
+
 namespace nvmr
 {
 
@@ -34,7 +36,7 @@ void
 fatalImpl(const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::exit(1);
+    std::exit(kExitUsage);
 }
 
 void

@@ -18,8 +18,8 @@ namespace nvmr
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Exit(1) with a message; call for user errors (bad configuration,
- *  malformed assembly, etc.). */
+/** Exit(kExitUsage) with a message; call for user errors (bad
+ *  configuration, malformed assembly, etc.). */
 [[noreturn]] void fatalImpl(const std::string &msg);
 
 /** Print a warning to stderr. */

@@ -1,5 +1,11 @@
 #include "obs/manifest.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "common/log.hh"
@@ -232,6 +238,46 @@ ManifestWriter::writeFile(const std::string &path) const
     std::string doc = json();
     os << doc << "\n";
     fatal_if(!os.good(), "error writing ", path);
+}
+
+bool
+ManifestWriter::tryWriteFile(const std::string &path) const
+{
+    std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0) {
+        warn("cannot open ", tmp, " for writing: ",
+             std::strerror(errno));
+        return false;
+    }
+    std::string doc = json();
+    doc += '\n';
+    size_t off = 0;
+    while (off < doc.size()) {
+        ssize_t n = ::write(fd, doc.data() + off, doc.size() - off);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            warn("error writing ", tmp, ": ",
+                 n < 0 ? std::strerror(errno) : "short write");
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        warn("error flushing ", tmp, ": ", std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cannot rename ", tmp, " to ", path, ": ",
+             std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace nvmr

@@ -57,6 +57,15 @@ class ManifestWriter
     /** Render and write to `path`; fatal on I/O failure. */
     void writeFile(const std::string &path) const;
 
+    /**
+     * Render and write atomically: the document lands in `path`.tmp,
+     * is fsync'd, then renamed over `path`, so a crash mid-write
+     * never leaves a torn manifest behind. Returns false (with a
+     * warning) instead of exiting on I/O failure, so campaign tools
+     * can keep their computed results and exit degraded.
+     */
+    bool tryWriteFile(const std::string &path) const;
+
     /** Render one RunResult as a JSON object (shared with bench). */
     static std::string runJson(const RunResult &r);
 

@@ -136,15 +136,9 @@ collectSamples(ArchKind arch, const SystemConfig &cfg,
     size_t cells = progs.size() * traces.size();
     auto per_run = par::parallelMap<std::vector<SpendthriftSample>>(
         cells, [&](size_t i) {
-            const Program &prog = progs[i / traces.size()];
-            const HarvestTrace &trace = traces[i % traces.size()];
-            std::vector<SpendthriftSample> out;
-            RecordingJitPolicy policy(out);
-            RunOptions opts;
-            opts.validate = false;
-            Simulator sim(prog, arch, cfg, policy, trace, opts);
-            sim.run();
-            return out;
+            return collectSpendthriftCell(progs[i / traces.size()],
+                                          arch, cfg,
+                                          traces[i % traces.size()]);
         });
 
     std::vector<SpendthriftSample> samples;
@@ -154,6 +148,25 @@ collectSamples(ArchKind arch, const SystemConfig &cfg,
 }
 
 } // namespace
+
+std::vector<SpendthriftSample>
+collectSpendthriftCell(const Program &prog, ArchKind arch,
+                       const SystemConfig &cfg,
+                       const HarvestTrace &trace, uint64_t max_cycles,
+                       bool *completed)
+{
+    std::vector<SpendthriftSample> out;
+    RecordingJitPolicy policy(out);
+    RunOptions opts;
+    opts.validate = false;
+    if (max_cycles)
+        opts.maxCycles = max_cycles;
+    Simulator sim(prog, arch, cfg, policy, trace, opts);
+    RunResult r = sim.run();
+    if (completed)
+        *completed = r.completed;
+    return out;
+}
 
 void
 balanceSamples(std::vector<SpendthriftSample> &samples)

@@ -73,6 +73,18 @@ double percentSaved(const Aggregate &baseline,
 void balanceSamples(std::vector<SpendthriftSample> &samples);
 
 /**
+ * Collect JIT-oracle Spendthrift samples of one (program, trace)
+ * cell -- the unit nvmr_train journals through the campaign layer.
+ * `max_cycles` of 0 keeps the default safety cap; with a budget,
+ * `completed` (when non-null) reports whether the workload finished
+ * within it.
+ */
+std::vector<SpendthriftSample> collectSpendthriftCell(
+    const Program &prog, ArchKind arch, const SystemConfig &cfg,
+    const HarvestTrace &trace, uint64_t max_cycles = 0,
+    bool *completed = nullptr);
+
+/**
  * Train a Spendthrift model for one architecture (the paper trains
  * one per architecture): run the named workloads under the JIT oracle
  * on the 7 training traces, collect (harvest, voltage, fire) samples,

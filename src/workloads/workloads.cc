@@ -38,6 +38,12 @@ findWorkload(const std::string &name)
 Program
 assembleWorkload(const std::string &name)
 {
+    // "spin" never terminates. It is deliberately absent from
+    // allWorkloads() -- it has no golden check and would hang any tool
+    // that runs every workload -- and exists so watchdog/quarantine
+    // tests can request a guaranteed-hung cell by name.
+    if (name == "spin")
+        return assemble("spin", "spin:\n    jmp spin\n    halt\n");
     const WorkloadInfo &info = findWorkload(name);
     return assemble(info.name, info.source);
 }

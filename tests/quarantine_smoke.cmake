@@ -1,0 +1,49 @@
+# Watchdog/quarantine acceptance check (docs/operations.md): a sweep
+# over the deliberately non-terminating `spin` workload plus a real
+# one. The hung cell must be retried with a doubled budget and then
+# quarantined -- reported in the manifest, exit kExitDegraded (3) --
+# while the healthy cell's rows still appear in the CSV. Invoked by
+# the `quarantine-smoke` ctest:
+#
+#   cmake -DSWEEP=... -DWORKDIR=... -P quarantine_smoke.cmake
+
+foreach(var SWEEP WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "pass -D${var}=... (see tests/CMakeLists.txt)")
+    endif()
+endforeach()
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# 8M cycles quarantines spin on both attempts but lets hist finish
+# (its slowest trace needs ~11.4M, covered by the doubled retry).
+execute_process(
+    COMMAND "${SWEEP}" --workloads spin,hist --archs nvmr
+            --policies jit --traces 2
+            --watchdog-cycles 8000000 --watchdog-retries 1
+            --stats-json "${WORKDIR}/quarantine.json"
+    OUTPUT_FILE "${WORKDIR}/quarantine.csv"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 3)
+    message(FATAL_ERROR
+            "expected exit 3 (degraded: quarantine), got ${rc}")
+endif()
+
+file(READ "${WORKDIR}/quarantine.json" manifest)
+if(NOT manifest MATCHES "\"cell\":\"spin/nvmr/jit\"")
+    message(FATAL_ERROR "manifest does not quarantine spin/nvmr/jit")
+endif()
+if(NOT manifest MATCHES "\"attempts\":2")
+    message(FATAL_ERROR
+            "hung cell was not retried before quarantine")
+endif()
+
+file(READ "${WORKDIR}/quarantine.csv" csv)
+if(NOT csv MATCHES "hist")
+    message(FATAL_ERROR "healthy workload rows missing from CSV")
+endif()
+if(csv MATCHES "spin")
+    message(FATAL_ERROR "quarantined workload leaked into the CSV")
+endif()
+
+message(STATUS "quarantine-smoke: hung cell retried, quarantined, "
+               "reported; campaign completed with exit 3")

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the crash-safe campaign layer: watchdog budget-doubling
+ * retries and quarantine, journaled-cell resume (including resumed
+ * quarantine records), the rule that tool-level failures are never
+ * journaled, config-hash / tool-name resume refusals, graceful
+ * journal degradation, interrupt skipping, and the exit-code ladder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/sig.hh"
+#include "common/exitcodes.hh"
+#include "common/log.hh"
+
+namespace nvmr::campaign
+{
+namespace
+{
+
+std::string
+tempJournal(const std::string &name)
+{
+    std::string path = testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+Options
+journalOpts(const std::string &path, bool resume = false)
+{
+    Options o;
+    o.journalPath = path;
+    o.resume = resume;
+    return o;
+}
+
+TEST(Campaign, WatchdogDoublesBudgetThenQuarantines)
+{
+    Options o;
+    o.watchdogCycles = 100;
+    o.watchdogRetries = 2;
+    Campaign cam("t", "spec", o);
+
+    std::mutex mu;
+    std::vector<uint64_t> budgets;
+    auto cells = cam.runStage(
+        "s", 1,
+        [&](const CellContext &ctx) -> std::optional<std::string> {
+            std::lock_guard<std::mutex> lock(mu);
+            budgets.push_back(ctx.budgetCycles);
+            throw CellTimeout{"still spinning"};
+        });
+
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].status, CellStatus::Quarantined);
+    EXPECT_EQ(cells[0].attempts, 3u);
+    ASSERT_EQ(budgets.size(), 3u);
+    EXPECT_EQ(budgets[0], 100u);
+    EXPECT_EQ(budgets[1], 200u);
+    EXPECT_EQ(budgets[2], 400u);
+
+    ASSERT_EQ(cam.quarantined().size(), 1u);
+    EXPECT_EQ(cam.quarantined()[0].stage, "s");
+    EXPECT_EQ(cam.quarantined()[0].reason, "still spinning");
+
+    // Quarantine degrades a clean exit but never masks a mismatch.
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitDegraded);
+    EXPECT_EQ(cam.exitCode(kExitMismatch), kExitMismatch);
+}
+
+TEST(Campaign, WatchdogRetrySucceedsWithDoubledBudget)
+{
+    Options o;
+    o.watchdogCycles = 1000;
+    o.watchdogRetries = 2;
+    Campaign cam("t", "spec", o);
+
+    auto cells = cam.runStage(
+        "s", 1,
+        [&](const CellContext &ctx) -> std::optional<std::string> {
+            if (ctx.attempt == 0)
+                throw CellTimeout{"too slow"};
+            EXPECT_EQ(ctx.budgetCycles, 2000u);
+            return std::string("done");
+        });
+
+    EXPECT_EQ(cells[0].status, CellStatus::Done);
+    EXPECT_EQ(cells[0].attempts, 2u);
+    EXPECT_EQ(cells[0].payload, "done");
+    EXPECT_TRUE(cam.quarantined().empty());
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitOk);
+}
+
+TEST(Campaign, ResumeServesJournaledCellsWithoutRerunning)
+{
+    std::string path = tempJournal("campaign_resume.jrn");
+    std::atomic<int> invocations{0};
+    auto body = [&](const CellContext &ctx)
+        -> std::optional<std::string> {
+        ++invocations;
+        return "cell" + std::to_string(ctx.index);
+    };
+
+    {
+        Campaign cam("t", "spec", journalOpts(path));
+        auto cells = cam.runStage("s", 4, body);
+        EXPECT_EQ(invocations.load(), 4);
+        for (const auto &c : cells)
+            EXPECT_EQ(c.status, CellStatus::Done);
+    }
+
+    invocations = 0;
+    Campaign cam("t", "spec", journalOpts(path, true));
+    auto cells = cam.runStage("s", 4, body);
+    EXPECT_EQ(invocations.load(), 0);
+    EXPECT_EQ(cam.resumedCells(), 4u);
+    for (uint64_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(cells[i].status, CellStatus::Done);
+        EXPECT_TRUE(cells[i].fromJournal);
+        EXPECT_EQ(cells[i].payload, "cell" + std::to_string(i));
+        EXPECT_TRUE(cam.cellDone("s", i));
+    }
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitOk);
+}
+
+TEST(Campaign, FailedCellsAreNotJournaledSoResumeRerunsThem)
+{
+    std::string path = tempJournal("campaign_failed.jrn");
+    std::atomic<int> invocations{0};
+    auto body = [&](const CellContext &ctx)
+        -> std::optional<std::string> {
+        ++invocations;
+        if (ctx.index == 1)
+            return std::nullopt; // tool-level failure (e.g. mismatch)
+        return "ok";
+    };
+
+    {
+        Campaign cam("t", "spec", journalOpts(path));
+        auto cells = cam.runStage("s", 3, body);
+        EXPECT_EQ(cells[1].status, CellStatus::Failed);
+    }
+
+    // Only the failing cell runs again: the failure must be
+    // reproduced, not papered over by a checkpoint.
+    invocations = 0;
+    Campaign cam("t", "spec", journalOpts(path, true));
+    auto cells = cam.runStage("s", 3, body);
+    EXPECT_EQ(invocations.load(), 1);
+    EXPECT_EQ(cells[0].status, CellStatus::Done);
+    EXPECT_TRUE(cells[0].fromJournal);
+    EXPECT_EQ(cells[1].status, CellStatus::Failed);
+    EXPECT_FALSE(cells[1].fromJournal);
+    EXPECT_FALSE(cam.cellDone("s", 1));
+}
+
+TEST(Campaign, ResumeServesQuarantineRecords)
+{
+    std::string path = tempJournal("campaign_requarantine.jrn");
+    {
+        Options o = journalOpts(path);
+        o.watchdogCycles = 10;
+        o.watchdogRetries = 1;
+        Campaign cam("t", "spec", o);
+        cam.runStage("s", 1,
+                     [&](const CellContext &)
+                         -> std::optional<std::string> {
+                         throw CellTimeout{"poison"};
+                     });
+        ASSERT_EQ(cam.quarantined().size(), 1u);
+    }
+
+    // The resume must not re-run the poison cell -- that is the whole
+    // point of quarantining it durably.
+    Campaign cam("t", "spec", journalOpts(path, true));
+    auto cells = cam.runStage(
+        "s", 1,
+        [&](const CellContext &) -> std::optional<std::string> {
+            ADD_FAILURE() << "quarantined cell was re-run";
+            return std::nullopt;
+        });
+    EXPECT_EQ(cells[0].status, CellStatus::Quarantined);
+    EXPECT_TRUE(cells[0].fromJournal);
+    EXPECT_EQ(cells[0].attempts, 2u);
+    EXPECT_EQ(cells[0].payload, "poison");
+    ASSERT_EQ(cam.quarantined().size(), 1u);
+    EXPECT_EQ(cam.quarantined()[0].reason, "poison");
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitDegraded);
+}
+
+TEST(Campaign, QuarantineJsonListsCells)
+{
+    Options o;
+    o.watchdogCycles = 10;
+    o.watchdogRetries = 0;
+    Campaign cam("t", "spec", o);
+    cam.runStage("grid", 1,
+                 [&](const CellContext &)
+                     -> std::optional<std::string> {
+                     throw CellTimeout{"hung"};
+                 });
+    std::string json = cam.quarantineJson(
+        [](const QuarantineEntry &q) {
+            return "cell-" + std::to_string(q.index);
+        });
+    EXPECT_EQ(json,
+              "[{\"stage\":\"grid\",\"index\":0,"
+              "\"cell\":\"cell-0\",\"attempts\":1,"
+              "\"reason\":\"hung\"}]");
+}
+
+TEST(CampaignDeathTest, ResumeRefusesConfigHashMismatch)
+{
+    std::string path = tempJournal("campaign_confhash.jrn");
+    {
+        Campaign cam("t", "spec-a", journalOpts(path));
+        cam.runStage("s", 1,
+                     [](const CellContext &)
+                         -> std::optional<std::string> {
+                         return "x";
+                     });
+    }
+    EXPECT_EXIT(Campaign("t", "spec-b", journalOpts(path, true)),
+                testing::ExitedWithCode(kExitUsage),
+                "config hash");
+}
+
+TEST(CampaignDeathTest, ResumeRefusesOtherToolsJournal)
+{
+    std::string path = tempJournal("campaign_tool.jrn");
+    { Campaign cam("nvmr_sweep", "spec", journalOpts(path)); }
+    EXPECT_EXIT(
+        Campaign("nvmr_fuzz", "spec", journalOpts(path, true)),
+        testing::ExitedWithCode(kExitUsage), "written by nvmr_sweep");
+}
+
+TEST(CampaignDeathTest, ResumeRefusesMissingJournal)
+{
+    std::string path = tempJournal("campaign_missing.jrn");
+    EXPECT_EXIT(Campaign("t", "spec", journalOpts(path, true)),
+                testing::ExitedWithCode(kExitUsage), "cannot resume");
+}
+
+TEST(Campaign, UnwritableJournalDegradesInsteadOfAborting)
+{
+    // A journal path in a directory that does not exist: the first
+    // write fails, the campaign keeps computing, and the clean exit
+    // is upgraded to kExitDegraded.
+    Options o = journalOpts(testing::TempDir() +
+                            "/no_such_dir_nvmr/campaign.jrn");
+    Campaign cam("t", "spec", o);
+    auto cells = cam.runStage(
+        "s", 2,
+        [](const CellContext &) -> std::optional<std::string> {
+            return "computed anyway";
+        });
+    EXPECT_EQ(cells[0].status, CellStatus::Done);
+    EXPECT_EQ(cells[1].status, CellStatus::Done);
+    EXPECT_TRUE(cam.journalDegraded());
+    EXPECT_FALSE(cam.journalError().empty());
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitDegraded);
+    EXPECT_EQ(cam.exitCode(kExitMismatch), kExitMismatch);
+}
+
+TEST(Campaign, InterruptSkipsCellsAndSetsSignalExitCode)
+{
+    setInterruptForTest(SIGINT);
+    Options o;
+    Campaign cam("t", "spec", o);
+    std::atomic<int> invocations{0};
+    auto cells = cam.runStage(
+        "s", 3,
+        [&](const CellContext &) -> std::optional<std::string> {
+            ++invocations;
+            return "x";
+        });
+    EXPECT_TRUE(cam.interrupted());
+    EXPECT_EQ(invocations.load(), 0);
+    for (const auto &c : cells)
+        EXPECT_EQ(c.status, CellStatus::Skipped);
+    EXPECT_EQ(cam.exitCode(kExitOk), kExitSignalBase + SIGINT);
+    setInterruptForTest(0);
+    EXPECT_FALSE(cam.interrupted());
+}
+
+} // namespace
+} // namespace nvmr::campaign

@@ -9,9 +9,11 @@
 #ifndef NVMR_TOOLS_CLI_HH
 #define NVMR_TOOLS_CLI_HH
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/campaign.hh"
 #include "common/log.hh"
 #include "par/par.hh"
 #include "power/policy.hh"
@@ -38,6 +40,60 @@ handleJobsArg(int argc, char **argv, int &i)
         fatal("missing value for --jobs");
     par::setGlobalJobs(par::parseJobsValue(argv[++i]));
     return true;
+}
+
+/**
+ * Handle the shared crash-safety flags inside a tool's arg loop
+ * (docs/operations.md):
+ *
+ *     --journal FILE          checkpoint completed cells to FILE
+ *     --resume FILE           skip cells already completed in FILE
+ *     --watchdog-cycles N     per-cell simulated-cycle budget
+ *     --watchdog-retries N    budget-doubling retries before quarantine
+ *
+ * Returns true when argv[i] was one of them (consuming its value).
+ */
+inline bool
+handleCampaignArg(int argc, char **argv, int &i,
+                  campaign::Options &opts)
+{
+    auto need = [&]() -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for ", argv[i]);
+        return argv[++i];
+    };
+    std::string a = argv[i];
+    if (a == "--journal") {
+        opts.journalPath = need();
+        return true;
+    }
+    if (a == "--resume") {
+        opts.journalPath = need();
+        opts.resume = true;
+        return true;
+    }
+    if (a == "--watchdog-cycles") {
+        opts.watchdogCycles = std::strtoull(need(), nullptr, 10);
+        return true;
+    }
+    if (a == "--watchdog-retries") {
+        opts.watchdogRetries =
+            static_cast<unsigned>(std::strtoul(need(), nullptr, 10));
+        return true;
+    }
+    return false;
+}
+
+/** Append the watchdog knobs to a campaign config-spec string (they
+ *  shape per-cell results, so a resume must match them; --jobs and
+ *  output paths deliberately stay out). */
+inline void
+appendWatchdogSpec(std::string &spec, const campaign::Options &opts)
+{
+    spec += "|watchdog_cycles=";
+    spec += std::to_string(opts.watchdogCycles);
+    spec += "|watchdog_retries=";
+    spec += std::to_string(opts.watchdogRetries);
 }
 
 inline ArchKind

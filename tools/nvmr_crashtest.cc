@@ -12,15 +12,28 @@
  *     nvmr_crashtest --smoke               # <30 s fixed-seed subset
  *     nvmr_crashtest -w hist,qsort -a nvmr --max-backups 10
  *     nvmr_crashtest --stride 4 --jobs 8   # --threads is an alias
+ *     nvmr_crashtest --journal c.jrn       # checkpoint; --resume
+ *
+ * The (workload, arch) census and crash-point cells run through the
+ * campaign layer (docs/operations.md). Unlike the fuzzer, point
+ * failures ARE journaled -- a stuck or divergent crash point is a
+ * finding, the sweep keeps going and reports it in the summary -- so
+ * a resumed sweep replays recorded findings instead of re-running
+ * their cells.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/cellio.hh"
+#include "campaign/sig.hh"
 #include "cli.hh"
+#include "common/exitcodes.hh"
 #include "common/log.hh"
 #include "common/xorshift.hh"
 #include "obs/json.hh"
@@ -122,7 +135,7 @@ crashConfig()
 RunResult
 runOnce(const Program &prog, ArchKind arch, const FaultConfig &faults,
         const Simulator **sim_out, const GoldenResult &golden,
-        bool *matched)
+        bool *matched, uint64_t budget_cycles = 0)
 {
     SystemConfig cfg = crashConfig();
     PolicySpec spec;
@@ -133,6 +146,8 @@ runOnce(const Program &prog, ArchKind arch, const FaultConfig &faults,
     RunOptions opts;
     opts.validate = false;
     opts.faults = faults;
+    if (budget_cycles)
+        opts.maxCycles = budget_cycles;
     Simulator sim(prog, arch, cfg, *policy, trace, opts);
     (void)sim_out;
     RunResult r = sim.run();
@@ -156,39 +171,74 @@ struct ComboReport
 };
 
 bool
-exploreCombo(const std::string &workload, ArchKind arch,
-             const Options &opt, ComboReport &report)
+exploreCombo(campaign::Campaign &cam, const std::string &workload,
+             ArchKind arch, const Options &opt, ComboReport &report)
 {
-    Program prog = assembleWorkload(workload);
-    GoldenResult golden = runContinuous(prog);
-    fatal_if(!golden.halted, "golden run of ", workload,
-             " did not halt");
+    std::string tag = workload + "/" + archKindName(arch);
+    std::string census_stage = tag + "/census";
+    std::string points_stage = tag + "/points";
 
-    // Census pass: fault layer on, nothing armed. Records the
-    // persist-boundary window of every backup.
-    FaultConfig census;
-    census.enabled = true;
-    bool census_ok = false;
-    std::vector<FaultInjector::BackupWindow> windows;
-    uint64_t census_cycles = 0;
-    {
-        SystemConfig cfg = crashConfig();
-        PolicySpec spec;
-        spec.kind = PolicyKind::Watchdog;
-        spec.watchdogPeriod = 4000;
-        auto policy = makePolicy(spec);
-        HarvestTrace trace(TraceKind::Rf, 7, 8.0);
-        RunOptions opts;
-        opts.validate = false;
-        opts.faults = census;
-        Simulator sim(prog, arch, cfg, *policy, trace, opts);
-        RunResult r = sim.run();
-        census_ok = r.completed &&
-                    sim.validateAgainstGolden(golden);
-        windows = sim.faultInjector().backupWindows();
-        census_cycles = r.totalCycles;
-    }
-    if (!census_ok) {
+    // The program and its golden run are only needed when some cell
+    // still has to execute; a fully-journaled combo skips both. They
+    // are always prepared on the main thread (workers must not race
+    // the assembler caches).
+    Program prog;
+    GoldenResult golden;
+    bool have_prog = false;
+    auto ensureProg = [&]() {
+        if (have_prog)
+            return;
+        prog = assembleWorkload(workload);
+        golden = runContinuous(prog);
+        fatal_if(!golden.halted, "golden run of ", workload,
+                 " did not halt");
+        have_prog = true;
+    };
+
+    // Census cell: fault layer on, nothing armed. Records the
+    // persist-boundary window of every backup. A census that cannot
+    // complete cleanly is a finding like any other, so it IS
+    // journaled (completed=false) and the combo fails without
+    // aborting the sweep.
+    if (!cam.cellDone(census_stage, 0))
+        ensureProg();
+    auto census_cells = cam.runStage(
+        census_stage, 1,
+        [&](const campaign::CellContext &ctx)
+            -> std::optional<std::string> {
+            SystemConfig cfg = crashConfig();
+            PolicySpec spec;
+            spec.kind = PolicyKind::Watchdog;
+            spec.watchdogPeriod = 4000;
+            auto policy = makePolicy(spec);
+            HarvestTrace trace(TraceKind::Rf, 7, 8.0);
+            RunOptions opts;
+            opts.validate = false;
+            FaultConfig census_faults;
+            census_faults.enabled = true;
+            opts.faults = census_faults;
+            if (ctx.budgetCycles)
+                opts.maxCycles = ctx.budgetCycles;
+            Simulator sim(prog, arch, cfg, *policy, trace, opts);
+            RunResult r = sim.run();
+            if (ctx.budgetCycles && !r.completed)
+                throw campaign::CellTimeout{
+                    tag + " census exceeded " +
+                    std::to_string(ctx.budgetCycles) + " cycles"};
+            CensusResult c;
+            c.completed = r.completed &&
+                          sim.validateAgainstGolden(golden);
+            c.totalCycles = r.totalCycles;
+            c.windows = sim.faultInjector().backupWindows();
+            return campaign::encodeCensus(c);
+        });
+    if (census_cells[0].status == campaign::CellStatus::Skipped ||
+        census_cells[0].status == campaign::CellStatus::Quarantined)
+        return true; // interrupted / reported via quarantine list
+    CensusResult census;
+    fatal_if(!campaign::decodeCensus(census_cells[0].payload, census),
+             "corrupt journal payload for ", census_stage);
+    if (!census.completed) {
         std::printf("FAILURE: %s/%s census run did not complete "
                     "cleanly\n",
                     workload.c_str(), archKindName(arch));
@@ -196,60 +246,77 @@ exploreCombo(const std::string &workload, ArchKind arch,
     }
 
     // Crash-point list: every (strided) persist boundary of the
-    // first maxBackups backups, plus sampled raw cycles.
+    // first maxBackups backups, plus sampled raw cycles. Derived
+    // deterministically from the census, so a resume regenerates the
+    // identical list.
     std::vector<CrashPoint> points;
-    uint64_t nwin = std::min<uint64_t>(windows.size(), opt.maxBackups);
+    uint64_t nwin =
+        std::min<uint64_t>(census.windows.size(), opt.maxBackups);
     for (uint64_t i = 0; i < nwin; ++i) {
-        for (uint64_t p = windows[i].firstPersist;
-             p <= windows[i].lastPersist; p += opt.stride)
+        for (uint64_t p = census.windows[i].firstPersist;
+             p <= census.windows[i].lastPersist; p += opt.stride)
             points.push_back(CrashPoint{p, 0});
     }
     XorShift rng(opt.seed + static_cast<uint64_t>(arch) * 131);
     for (uint64_t i = 0; i < opt.cycleSamples; ++i) {
-        uint64_t c = 1 + rng.next() % (census_cycles + 1);
+        uint64_t c = 1 + rng.next() % (census.totalCycles + 1);
         points.push_back(CrashPoint{0, c});
     }
 
     report.points = points.size();
 
+    bool any_fresh = false;
+    for (size_t i = 0; i < points.size() && !any_fresh; ++i)
+        any_fresh = !cam.cellDone(points_stage, i);
+    if (any_fresh)
+        ensureProg();
+
     // Fan the crash points across the engine; workers only simulate.
-    // The gathered outcomes are scanned in point order afterwards, so
-    // failure lines come out in a deterministic order whatever the
-    // worker count.
-    struct PointOutcome
-    {
-        bool crashed = false;
-        bool completed = false;
-        bool matched = false;
-    };
-    std::vector<PointOutcome> outs =
-        par::parallelMap<PointOutcome>(points.size(), [&](size_t idx) {
-            const CrashPoint &cp = points[idx];
+    // Each point journals a 1-byte outcome (crashed/completed/
+    // matched flags). The gathered outcomes are scanned in point
+    // order afterwards, so failure lines come out in a deterministic
+    // order whatever the worker count.
+    auto results = cam.runStage(
+        points_stage, points.size(),
+        [&](const campaign::CellContext &ctx)
+            -> std::optional<std::string> {
+            const CrashPoint &cp = points[ctx.index];
             FaultConfig faults;
             faults.enabled = true;
             faults.crashAtPersist = cp.persist;
             faults.crashAtCycle = cp.cycle;
-            PointOutcome out;
+            bool matched = false;
             RunResult r = runOnce(prog, arch, faults, nullptr, golden,
-                                  &out.matched);
-            out.crashed = r.injectedCrashes > 0;
-            out.completed = r.completed;
-            return out;
+                                  &matched, ctx.budgetCycles);
+            if (ctx.budgetCycles && !r.completed)
+                throw campaign::CellTimeout{
+                    tag + " point " + std::to_string(ctx.index) +
+                    " exceeded " + std::to_string(ctx.budgetCycles) +
+                    " cycles"};
+            char flags =
+                static_cast<char>((r.injectedCrashes > 0 ? 1 : 0) |
+                                  (r.completed ? 2 : 0) |
+                                  (matched ? 4 : 0));
+            return std::string(1, flags);
         });
 
     for (size_t idx = 0; idx < points.size(); ++idx) {
+        if (results[idx].status == campaign::CellStatus::Skipped ||
+            results[idx].status == campaign::CellStatus::Quarantined)
+            continue; // interrupted / reported via quarantine list
         const CrashPoint &cp = points[idx];
-        const PointOutcome &out = outs[idx];
-        if (out.crashed)
+        char flags =
+            results[idx].payload.empty() ? 0 : results[idx].payload[0];
+        if (flags & 1)
             ++report.crashed;
-        if (!out.completed) {
+        if (!(flags & 2)) {
             ++report.stuck;
             std::printf("FAILURE: %s/%s stuck with crash at %s %llu\n",
                         workload.c_str(), archKindName(arch),
                         cp.persist ? "persist" : "cycle",
                         static_cast<unsigned long long>(
                             cp.persist ? cp.persist : cp.cycle));
-        } else if (!out.matched) {
+        } else if (!(flags & 4)) {
             ++report.divergent;
             std::printf("FAILURE: %s/%s diverged with crash at "
                         "%s %llu\n",
@@ -268,9 +335,11 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    campaign::installSignalHandlers();
     // Line-buffer even when piped so long sweeps show live progress.
     std::setvbuf(stdout, nullptr, _IOLBF, 0);
     Options opt;
+    campaign::Options copts;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -279,6 +348,8 @@ main(int argc, char **argv)
     };
 
     for (int i = 1; i < argc; ++i) {
+        if (cli::handleCampaignArg(argc, argv, i, copts))
+            continue;
         std::string a = argv[i];
         if (a == "-w" || a == "--workloads") {
             opt.workloads = splitList(need(i));
@@ -324,6 +395,26 @@ main(int argc, char **argv)
         for (const WorkloadInfo &w : allWorkloads())
             opt.workloads.push_back(w.name);
 
+    std::string config_spec = "crashtest|workloads=";
+    for (size_t i = 0; i < opt.workloads.size(); ++i) {
+        if (i)
+            config_spec += ',';
+        config_spec += opt.workloads[i];
+    }
+    config_spec += "|archs=";
+    for (size_t i = 0; i < opt.archs.size(); ++i) {
+        if (i)
+            config_spec += ',';
+        config_spec += archKindName(opt.archs[i]);
+    }
+    config_spec += "|max_backups=" + std::to_string(opt.maxBackups) +
+                   "|stride=" + std::to_string(opt.stride) +
+                   "|cycle_samples=" +
+                   std::to_string(opt.cycleSamples) +
+                   "|seed=" + std::to_string(opt.seed);
+    cli::appendWatchdogSpec(config_spec, copts);
+    campaign::Campaign cam("nvmr_crashtest", config_spec, copts);
+
     uint64_t total_points = 0;
     uint64_t total_crashed = 0;
     bool ok = true;
@@ -331,8 +422,12 @@ main(int argc, char **argv)
     combos.beginArray();
     for (const std::string &w : opt.workloads) {
         for (ArchKind arch : opt.archs) {
+            if (cam.interrupted())
+                break;
             ComboReport report;
-            bool combo_ok = exploreCombo(w, arch, opt, report);
+            bool combo_ok = exploreCombo(cam, w, arch, opt, report);
+            if (cam.interrupted())
+                break;
             total_points += report.points;
             total_crashed += report.crashed;
             combos.beginObject();
@@ -356,27 +451,49 @@ main(int argc, char **argv)
                     combo_ok ? "" : "  <-- FAIL");
             ok = ok && combo_ok;
         }
+        if (cam.interrupted())
+            break;
     }
+    combos.endArray();
 
-    std::printf("crashtest %s: %llu crash points (%llu fired), "
-                "%llu workloads x %llu archs\n",
-                ok ? "passed" : "FAILED",
-                static_cast<unsigned long long>(total_points),
-                static_cast<unsigned long long>(total_crashed),
-                static_cast<unsigned long long>(opt.workloads.size()),
-                static_cast<unsigned long long>(opt.archs.size()));
+    if (cam.interrupted())
+        std::printf("interrupted: progress checkpointed%s\n",
+                    copts.journalPath.empty() ? " (no --journal)"
+                                              : "");
+    else
+        std::printf("crashtest %s: %llu crash points (%llu fired), "
+                    "%llu workloads x %llu archs\n",
+                    ok ? "passed" : "FAILED",
+                    static_cast<unsigned long long>(total_points),
+                    static_cast<unsigned long long>(total_crashed),
+                    static_cast<unsigned long long>(
+                        opt.workloads.size()),
+                    static_cast<unsigned long long>(opt.archs.size()));
+    for (const auto &q : cam.quarantined())
+        warn("quarantined ", q.stage, "/", q.index, " after ",
+             q.attempts, " attempt(s): ", q.reason);
 
+    int rc = ok ? kExitOk : kExitMismatch;
     if (!opt.statsJsonPath.empty()) {
-        combos.endArray();
         ManifestWriter manifest("nvmr_crashtest");
         manifest.setConfig(crashConfig());
         manifest.addExtra("crash_points",
                           static_cast<double>(total_points));
         manifest.addExtra("crashes_fired",
                           static_cast<double>(total_crashed));
-        manifest.addExtra("result", ok ? "passed" : "failed");
+        manifest.addExtra("result", cam.interrupted() ? "interrupted"
+                                    : ok              ? "passed"
+                                                      : "failed");
         manifest.addExtraJson("combos", combos.str());
-        manifest.writeFile(opt.statsJsonPath);
+        manifest.addExtraJson("quarantine", cam.quarantineJson());
+        if (!manifest.tryWriteFile(opt.statsJsonPath) &&
+            rc == kExitOk)
+            rc = kExitDegraded;
     }
-    return ok ? 0 : 1;
+    if ((std::fflush(stdout) != 0 || std::ferror(stdout)) &&
+        rc == kExitOk) {
+        warn("error writing to stdout");
+        rc = kExitDegraded;
+    }
+    return cam.exitCode(rc);
 }

@@ -18,21 +18,29 @@
  *     nvmr_diff --bug rename_alias      # seeded-bug demo: catch,
  *                                       # shrink, save a .repro
  *     nvmr_diff --jobs 8                # worker count (or NVMR_JOBS)
+ *     nvmr_diff --journal d.jrn         # checkpoint; --resume d.jrn
  *
  * Any failure saves a self-contained `.repro` file and prints the
- * one-line replay command; exit status is non-zero.
+ * one-line replay command; exit status is non-zero (1 for a
+ * divergence, 2 for usage errors, 3 for quarantined cells,
+ * 128+signal when interrupted -- see docs/operations.md).
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/cellio.hh"
+#include "campaign/sig.hh"
 #include "check/runner.hh"
 #include "check/schedule.hh"
 #include "check/shrink.hh"
 #include "cli.hh"
+#include "common/exitcodes.hh"
 #include "common/log.hh"
 #include "isa/assembler.hh"
 #include "obs/manifest.hh"
@@ -103,63 +111,130 @@ reportFailure(const CheckCase &c, const CheckOutcome &out,
 
 /** Run every adversarial schedule of one base case. */
 bool
-runBase(const CheckCase &base, uint32_t budget, uint64_t gen_seed,
+runBase(campaign::Campaign &cam, const std::string &tag,
+        const CheckCase &base, uint32_t budget, uint64_t gen_seed,
         uint64_t *runs, uint64_t *failures,
         const std::string &repro_path)
 {
-    CensusResult census = runCensus(base);
-    if (!census.completed) {
+    // The census is one journaled cell of its own, so a resumed
+    // campaign regenerates the schedule list from the journal instead
+    // of re-running the mapping pass. A census that cannot complete
+    // is a tool-level failure (never journaled); under a watchdog
+    // budget it is retried and quarantined like any other cell.
+    auto census_cells = cam.runStage(
+        tag + "/census", 1,
+        [&](const campaign::CellContext &ctx)
+            -> std::optional<std::string> {
+            CheckCase c = base;
+            if (ctx.budgetCycles)
+                c.maxCycles = ctx.budgetCycles;
+            CensusResult r = runCensus(c);
+            if (ctx.budgetCycles && !r.completed)
+                throw campaign::CellTimeout{
+                    base.name + " census exceeded " +
+                    std::to_string(ctx.budgetCycles) + " cycles"};
+            if (!r.completed)
+                return std::nullopt;
+            return campaign::encodeCensus(r);
+        });
+    if (census_cells[0].status == campaign::CellStatus::Skipped ||
+        census_cells[0].status == campaign::CellStatus::Quarantined)
+        return true; // interrupted / reported via quarantine list
+    if (census_cells[0].status != campaign::CellStatus::Done) {
         std::printf("census run of %s did not complete; treating as "
                     "failure\n",
                     base.name.c_str());
         ++*failures;
         return false;
     }
+    CensusResult census;
+    fatal_if(!campaign::decodeCensus(census_cells[0].payload, census),
+             "corrupt journal payload for ", tag, " census");
+
     ScheduleGenParams params;
     params.budget = budget;
     params.seed = gen_seed;
     std::vector<CheckCase> schedules =
         makeAdversarialSchedules(base, census, params);
 
-    OracleResult oracle =
-        runOracle(assemble(base.name, base.programText));
-    // Fan the schedules across the engine; the precomputed oracle is
-    // shared read-only. Outcomes are scanned in schedule order so the
-    // failure reported (and the run count at that point) is the one a
-    // serial campaign would have hit first.
+    // Precompute the shared read-only oracle only when a schedule
+    // still has to run (a fully-journaled base skips it entirely).
+    std::string sched_stage = tag + "/sched";
+    bool any_fresh = false;
+    for (size_t i = 0; i < schedules.size() && !any_fresh; ++i)
+        any_fresh = !cam.cellDone(sched_stage, i);
+    OracleResult oracle;
+    if (any_fresh)
+        oracle = runOracle(assemble(base.name, base.programText));
+
+    // Failure detail rides in this side table; clean cells journal an
+    // "ok" marker, failures are never journaled so a resume re-runs
+    // and reproduces them. Outcomes are scanned in schedule order so
+    // the failure reported (and the run count at that point) is the
+    // one a serial campaign would have hit first.
+    std::vector<CheckOutcome> outs(schedules.size());
     par::Progress progress("diff:" + base.name, schedules.size());
-    std::vector<CheckOutcome> outs = par::parallelMap<CheckOutcome>(
-        schedules.size(),
-        [&](size_t i) { return runChecked(schedules[i], &oracle); },
-        0, &progress);
+    auto results = cam.runStage(
+        sched_stage, schedules.size(),
+        [&](const campaign::CellContext &ctx)
+            -> std::optional<std::string> {
+            CheckCase c = schedules[ctx.index];
+            if (ctx.budgetCycles)
+                c.maxCycles = ctx.budgetCycles;
+            CheckOutcome out = runChecked(c, &oracle);
+            if (ctx.budgetCycles && !out.clean() &&
+                !out.run.completed)
+                throw campaign::CellTimeout{
+                    base.name + " schedule " +
+                    std::to_string(ctx.index) + " exceeded " +
+                    std::to_string(ctx.budgetCycles) + " cycles"};
+            if (!out.clean()) {
+                outs[ctx.index] = std::move(out);
+                return std::nullopt;
+            }
+            return std::string("ok");
+        },
+        &progress);
     progress.finish();
-    for (size_t i = 0; i < outs.size(); ++i) {
-        ++*runs;
-        if (outs[i].clean())
-            continue;
-        ++*failures;
-        reportFailure(schedules[i], outs[i], repro_path);
-        return false;
+    for (size_t i = 0; i < results.size(); ++i) {
+        switch (results[i].status) {
+          case campaign::CellStatus::Done:
+            ++*runs;
+            break;
+          case campaign::CellStatus::Quarantined:
+            break; // reported at the end of the campaign
+          case campaign::CellStatus::Skipped:
+            return true; // interrupted; caller checks
+          case campaign::CellStatus::Failed:
+            ++*runs;
+            ++*failures;
+            reportFailure(schedules[i], outs[i], repro_path);
+            return false;
+        }
     }
     return true;
 }
 
 int
-campaign(const std::vector<ArchKind> &archs, uint32_t per_arch,
-         uint64_t seed, InjectedBug bug, bool smoke,
-         const std::string &stats_json)
+runCampaign(campaign::Campaign &cam,
+            const std::vector<ArchKind> &archs, uint32_t per_arch,
+            uint64_t seed, InjectedBug bug, bool smoke,
+            const std::string &stats_json)
 {
     uint64_t runs = 0;
     uint64_t failures = 0;
     bool clean = true;
     for (ArchKind arch : archs) {
+        if (cam.interrupted())
+            break;
         auto bases = baseConfigs(arch);
         if (smoke)
             bases.resize(1);
         uint32_t per_base = std::max<uint32_t>(
             1, per_arch / static_cast<uint32_t>(bases.size()));
         uint64_t arch_runs_before = runs;
-        for (size_t bi = 0; bi < bases.size() && clean; ++bi) {
+        for (size_t bi = 0;
+             bi < bases.size() && clean && !cam.interrupted(); ++bi) {
             // Give the last base config the budget remainder so the
             // per-architecture total meets the request exactly.
             uint32_t budget = per_base;
@@ -171,9 +246,14 @@ campaign(const std::vector<ArchKind> &archs, uint32_t per_arch,
                                      1);
             CheckCase base =
                 makeBaseCase(arch, bases[bi], seed, bug);
-            clean &= runBase(base, budget, seed * 31 + bi, &runs,
-                             &failures, "nvmr_diff_failure.repro");
+            std::string tag = std::string(archKindName(arch)) + "-b" +
+                              std::to_string(bi);
+            clean &= runBase(cam, tag, base, budget, seed * 31 + bi,
+                             &runs, &failures,
+                             "nvmr_diff_failure.repro");
         }
+        if (cam.interrupted())
+            break;
         std::printf("%s: %llu schedules, %s\n", archKindName(arch),
                     static_cast<unsigned long long>(
                         runs - arch_runs_before),
@@ -181,20 +261,37 @@ campaign(const std::vector<ArchKind> &archs, uint32_t per_arch,
         if (!clean)
             break;
     }
-    if (clean)
+    if (cam.interrupted())
+        std::printf("interrupted: %llu checked runs checkpointed\n",
+                    static_cast<unsigned long long>(runs));
+    else if (clean)
         std::printf("campaign done: %llu checked runs, zero "
                     "divergences, zero invariant violations\n",
                     static_cast<unsigned long long>(runs));
+    for (const auto &q : cam.quarantined())
+        warn("quarantined ", q.stage, "/", q.index, " after ",
+             q.attempts, " attempt(s): ", q.reason);
+    int rc = kExitOk;
     if (!stats_json.empty()) {
         ManifestWriter manifest("nvmr_diff");
         manifest.addExtra("runs", static_cast<double>(runs));
         manifest.addExtra("failures",
                           static_cast<double>(failures));
         manifest.addExtra("result",
-                          clean ? "clean" : "divergence");
-        manifest.writeFile(stats_json);
+                          cam.interrupted() ? "interrupted"
+                          : clean           ? "clean"
+                                            : "divergence");
+        manifest.addExtraJson("quarantine", cam.quarantineJson());
+        if (!manifest.tryWriteFile(stats_json))
+            rc = kExitDegraded;
     }
-    return clean ? 0 : 1;
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+        warn("error writing to stdout");
+        rc = kExitDegraded;
+    }
+    if (!clean)
+        rc = kExitMismatch;
+    return cam.exitCode(rc);
 }
 
 int
@@ -250,12 +347,14 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    campaign::installSignalHandlers();
     uint32_t per_arch = 1000;
     uint64_t seed = 1;
     InjectedBug bug = InjectedBug::None;
     std::string only_arch;
     std::string stats_json;
     bool smoke = false;
+    campaign::Options copts;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
@@ -264,6 +363,7 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (cli::handleJobsArg(argc, argv, i)) {
+        } else if (cli::handleCampaignArg(argc, argv, i, copts)) {
         } else if (std::strcmp(argv[i], "--schedules") == 0) {
             per_arch = static_cast<uint32_t>(
                 std::strtoul(need("--schedules"), nullptr, 10));
@@ -312,6 +412,21 @@ main(int argc, char **argv)
         // Seeded bugs live in the renaming layer.
         archs = {ArchKind::Nvmr};
     }
-    return campaign(archs, smoke ? 1 : per_arch, seed, bug, smoke,
-                    stats_json);
+
+    std::string config_spec = "diff|archs=";
+    for (size_t i = 0; i < archs.size(); ++i) {
+        if (i)
+            config_spec += ',';
+        config_spec += archKindName(archs[i]);
+    }
+    config_spec += "|schedules=" +
+                   std::to_string(smoke ? 1 : per_arch) +
+                   "|seed=" + std::to_string(seed) +
+                   "|bug=" + std::to_string(static_cast<int>(bug)) +
+                   "|smoke=" + std::to_string(smoke ? 1 : 0);
+    cli::appendWatchdogSpec(config_spec, copts);
+    campaign::Campaign cam("nvmr_diff", config_spec, copts);
+
+    return runCampaign(cam, archs, smoke ? 1 : per_arch, seed, bug,
+                       smoke, stats_json);
 }

@@ -18,17 +18,29 @@
  *     nvmr_fuzz --one SEED IDX  # re-run one (seed, case) pair -- the
  *                               # command a failure prints
  *     nvmr_fuzz --jobs 8 2000   # worker count (or NVMR_JOBS)
+ *     nvmr_fuzz --journal f.jrn 2000   # checkpoint; --resume f.jrn
+ *
+ * The (program, case) grid runs through the campaign layer
+ * (docs/operations.md): clean cells are journaled so a killed
+ * campaign resumes without re-fuzzing them, a watchdog budget
+ * quarantines hung cells, and any divergence exits nonzero (1) with
+ * the repro line -- divergences are never journaled, so a resume
+ * reproduces them.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/sig.hh"
 #include "check/runner.hh"
 #include "cli.hh"
+#include "common/exitcodes.hh"
 #include "common/log.hh"
 #include "common/xorshift.hh"
 #include "isa/assembler.hh"
@@ -144,7 +156,7 @@ struct CaseOutcome
 CaseOutcome
 evalCase(const Program &prog, const std::string &text, uint64_t seed,
          const FuzzCase &c, const FaultConfig *faults,
-         bool oracle_mode)
+         bool oracle_mode, uint64_t budget_cycles = 0)
 {
     CaseOutcome out;
     if (faults) {
@@ -161,6 +173,8 @@ evalCase(const Program &prog, const std::string &text, uint64_t seed,
     if (oracle_mode) {
         // Full checked harness: lockstep invariants + oracle diff.
         out.cc = makeCheckCase(prog, text, seed, c, faults);
+        if (budget_cycles)
+            out.cc.maxCycles = budget_cycles;
         CheckOutcome res = runChecked(out.cc);
         out.ok = res.clean();
         if (!out.ok) {
@@ -190,6 +204,8 @@ evalCase(const Program &prog, const std::string &text, uint64_t seed,
     RunOptions opts;
     if (faults)
         opts.faults = *faults;
+    if (budget_cycles)
+        opts.maxCycles = budget_cycles;
     Simulator sim(prog, c.arch, cfg, *policy, trace, opts);
     out.run = sim.run();
     out.ok = out.run.completed && out.run.validated;
@@ -242,16 +258,19 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    campaign::installSignalHandlers();
     bool faults_mode = false;
     bool oracle_mode = false;
     bool one_mode = false;
     uint64_t one_seed = 0;
     uint64_t one_case = 0;
     std::string stats_json_path;
+    campaign::Options copts;
     uint64_t positional[2] = {100, 1};
     int npos = 0;
     for (int i = 1; i < argc; ++i) {
         if (cli::handleJobsArg(argc, argv, i)) {
+        } else if (cli::handleCampaignArg(argc, argv, i, copts)) {
         } else if (std::strcmp(argv[i], "--faults") == 0) {
             faults_mode = true;
         } else if (std::strcmp(argv[i], "--oracle") == 0) {
@@ -291,13 +310,24 @@ main(int argc, char **argv)
             reportFailure(out, one_seed, one_case, c, faults_mode,
                           oracle_mode, nullptr);
         std::printf(out.ok ? "case clean\n" : "case FAILED\n");
-        return out.ok ? 0 : 1;
+        return out.ok ? kExitOk : kExitMismatch;
     }
+
+    // Everything that shapes the (program, case) grid or the per-cell
+    // verdicts gates --resume.
+    std::string config_spec =
+        "fuzz|iterations=" + std::to_string(iterations) +
+        "|base_seed=" + std::to_string(base_seed) +
+        "|faults=" + std::to_string(faults_mode ? 1 : 0) +
+        "|oracle=" + std::to_string(oracle_mode ? 1 : 0);
+    cli::appendWatchdogSpec(config_spec, copts);
+    campaign::Campaign cam("nvmr_fuzz", config_spec, copts);
 
     ManifestWriter manifest("nvmr_fuzz");
     ManifestWriter *mptr =
         stats_json_path.empty() ? nullptr : &manifest;
-    auto writeManifest = [&](uint64_t runs, bool clean) {
+    bool manifest_ok = true;
+    auto writeManifest = [&](uint64_t runs, const char *result) {
         if (!mptr)
             return;
         manifest.addExtra("iterations",
@@ -307,16 +337,18 @@ main(int argc, char **argv)
         manifest.addExtra("faults_mode", faults_mode ? 1.0 : 0.0);
         manifest.addExtra("oracle_mode", oracle_mode ? 1.0 : 0.0);
         manifest.addExtra("runs", static_cast<double>(runs));
-        manifest.addExtra("result",
-                          clean ? "no divergence" : "divergence");
-        manifest.writeFile(stats_json_path);
+        manifest.addExtra("result", result);
+        manifest.addExtraJson("quarantine", cam.quarantineJson());
+        manifest_ok = manifest.tryWriteFile(stats_json_path);
     };
 
     // Fan (program, case) pairs across the engine in chunks of 10
     // programs. Workers only simulate; the main thread scans each
     // chunk's outcomes in canonical order, so the first failure
     // reported -- and the run count at that point -- is the same
-    // whatever the worker count.
+    // whatever the worker count. Each chunk is one campaign stage:
+    // clean cells are journaled, so a resume skips straight past
+    // fully-checked chunks without even re-assembling their programs.
     struct Pair
     {
         uint64_t seed;
@@ -329,16 +361,13 @@ main(int argc, char **argv)
     par::Progress progress("fuzz", iterations * cases_per_prog);
 
     uint64_t runs = 0;
-    for (uint64_t i = 0; i < iterations; i += kChunkProgs) {
+    for (uint64_t i = 0; i < iterations && !cam.interrupted();
+         i += kChunkProgs) {
         uint64_t chunk = std::min(kChunkProgs, iterations - i);
-        std::vector<std::string> texts(chunk);
-        std::vector<Program> progs;
+        std::string stage = "c" + std::to_string(i);
         std::vector<Pair> pairs;
         for (uint64_t p = 0; p < chunk; ++p) {
             uint64_t seed = base_seed + i + p;
-            texts[p] = makeRandomProgram(seed);
-            progs.push_back(
-                assemble("fuzz" + std::to_string(seed), texts[p]));
             for (uint64_t ci = 1; ci <= kNumCases; ++ci) {
                 // Ideal relies on the perfect-JIT assumption that
                 // power never fails unexpectedly; injected crashes
@@ -349,41 +378,97 @@ main(int argc, char **argv)
                 pairs.push_back(Pair{seed, ci, p});
             }
         }
-        std::vector<CaseOutcome> outs =
-            par::parallelMap<CaseOutcome>(
-                pairs.size(),
-                [&](size_t k) {
-                    const Pair &pr = pairs[k];
-                    const FuzzCase &c = kCases[pr.caseIdx - 1];
-                    FaultConfig fc;
-                    if (faults_mode)
-                        fc = randomFaults(pr.seed, pr.caseIdx);
-                    return evalCase(progs[pr.prog], texts[pr.prog],
-                                    pr.seed, c,
-                                    faults_mode ? &fc : nullptr,
-                                    oracle_mode);
-                },
-                0, &progress);
+        bool any_fresh = false;
+        for (size_t k = 0; k < pairs.size() && !any_fresh; ++k)
+            any_fresh = !cam.cellDone(stage, k);
+        std::vector<std::string> texts(chunk);
+        std::vector<Program> progs(chunk);
+        if (any_fresh) {
+            // Assembly stays on the main thread: workers must not
+            // race the assembler caches.
+            for (uint64_t p = 0; p < chunk; ++p) {
+                uint64_t seed = base_seed + i + p;
+                texts[p] = makeRandomProgram(seed);
+                progs[p] = assemble("fuzz" + std::to_string(seed),
+                                    texts[p]);
+            }
+        }
+        // Failure detail rides in this side table; the journal only
+        // carries an "ok" marker (failures are never journaled, so a
+        // resumed campaign re-runs and reproduces them).
+        std::vector<CaseOutcome> outs(pairs.size());
+        auto results = cam.runStage(
+            stage, pairs.size(),
+            [&](const campaign::CellContext &ctx)
+                -> std::optional<std::string> {
+                const Pair &pr = pairs[ctx.index];
+                const FuzzCase &c = kCases[pr.caseIdx - 1];
+                FaultConfig fc;
+                if (faults_mode)
+                    fc = randomFaults(pr.seed, pr.caseIdx);
+                CaseOutcome out = evalCase(
+                    progs[pr.prog], texts[pr.prog], pr.seed, c,
+                    faults_mode ? &fc : nullptr, oracle_mode,
+                    ctx.budgetCycles);
+                if (ctx.budgetCycles && !out.ok && !out.skipped &&
+                    !out.run.completed)
+                    throw campaign::CellTimeout{
+                        "seed " + std::to_string(pr.seed) + " case " +
+                        std::to_string(pr.caseIdx) + " exceeded " +
+                        std::to_string(ctx.budgetCycles) + " cycles"};
+                if (!out.ok) {
+                    outs[ctx.index] = std::move(out);
+                    return std::nullopt;
+                }
+                return std::string("ok");
+            },
+            &progress);
         for (size_t k = 0; k < pairs.size(); ++k) {
-            if (!outs[k].ok) {
+            const campaign::CellResult &res = results[k];
+            if (res.status == campaign::CellStatus::Skipped ||
+                res.status == campaign::CellStatus::Quarantined)
+                continue; // interrupt / reported at the end
+            if (res.status == campaign::CellStatus::Failed) {
                 const Pair &pr = pairs[k];
                 reportFailure(outs[k], pr.seed, pr.caseIdx,
                               kCases[pr.caseIdx - 1], faults_mode,
                               oracle_mode, mptr);
-                writeManifest(runs, false);
-                return 1;
+                writeManifest(runs, "divergence");
+                std::fflush(stdout);
+                return cam.exitCode(kExitMismatch);
             }
             ++runs;
         }
         uint64_t done = i + chunk;
-        if (done % 10 == 0)
+        if (done % 10 == 0 && !cam.interrupted())
             std::printf("%llu programs, %llu runs, all consistent\n",
                         static_cast<unsigned long long>(done),
                         static_cast<unsigned long long>(runs));
     }
     progress.finish();
+
+    if (cam.interrupted()) {
+        std::printf("interrupted: %llu clean runs checkpointed\n",
+                    static_cast<unsigned long long>(runs));
+        writeManifest(runs, "interrupted");
+        std::fflush(stdout);
+        return cam.exitCode(kExitOk);
+    }
+
+    for (const auto &q : cam.quarantined())
+        warn("quarantined ", q.stage, "/", q.index, " after ",
+             q.attempts, " attempt(s): ", q.reason);
+
     std::printf("fuzzing done: %llu runs, no divergence\n",
                 static_cast<unsigned long long>(runs));
-    writeManifest(runs, true);
-    return 0;
+    writeManifest(runs, cam.quarantined().empty() ? "no divergence"
+                                                  : "quarantined");
+    int rc = kExitOk;
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+        warn("error writing to stdout");
+        rc = kExitDegraded;
+    }
+    if (!manifest_ok)
+        rc = kExitDegraded;
+    return cam.exitCode(rc);
 }

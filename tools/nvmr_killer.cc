@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Crash-resume self-test harness (docs/operations.md): repeatedly
+ * SIGKILLs a journaled campaign at randomized points, resumes it,
+ * and asserts the finally-merged output is bit-identical to an
+ * uninterrupted run. Between one of the kills it also tears the
+ * journal tail mid-record -- a frame header promising more payload
+ * than was written -- to prove torn-write recovery, and it repeats
+ * the whole scenario at two worker counts.
+ *
+ *     nvmr_killer [--seed N] [--min-kills N] [--max-restarts N]
+ *                 -- TOOL [ARGS...]
+ *
+ * TOOL must accept --journal/--resume/--stats-json/--jobs (any of
+ * the five campaign drivers). Everything after `--` is the victim
+ * command; nvmr_killer appends the campaign flags itself. Exit 0
+ * when every scenario converged byte-identically, 1 otherwise.
+ */
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/xorshift.hh"
+
+using nvmr::XorShift;
+
+namespace
+{
+
+/** Run the victim with extra flags, stdout to `out_path`; when
+ *  `kill_after_ms` is nonzero, SIGKILL it after that delay. Returns
+ *  the wait status, or -1 on spawn failure. Whether the kill landed
+ *  must be judged from WIFSIGNALED -- kill(2) "succeeds" even when
+ *  the child already exited and is a zombie awaiting waitpid. */
+int
+runVictim(const std::vector<std::string> &base,
+          const std::vector<std::string> &extra,
+          const std::string &out_path, unsigned kill_after_ms)
+{
+    std::vector<const char *> argv;
+    for (const std::string &a : base)
+        argv.push_back(a.c_str());
+    for (const std::string &a : extra)
+        argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+        std::perror("fork");
+        return -1;
+    }
+    if (pid == 0) {
+        int fd = ::open(out_path.c_str(),
+                        O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd < 0)
+            _exit(127);
+        dup2(fd, STDOUT_FILENO);
+        ::close(fd);
+        int devnull = ::open("/dev/null", O_WRONLY);
+        if (devnull >= 0) {
+            dup2(devnull, STDERR_FILENO);
+            ::close(devnull);
+        }
+        execv(argv[0], const_cast<char *const *>(argv.data()));
+        _exit(127);
+    }
+
+    if (kill_after_ms) {
+        struct timespec ts;
+        ts.tv_sec = kill_after_ms / 1000;
+        ts.tv_nsec =
+            static_cast<long>(kill_after_ms % 1000) * 1000000L;
+        nanosleep(&ts, nullptr);
+        // The child may have finished already; a stray ESRCH (or a
+        // "successful" kill of its zombie) is fine.
+        ::kill(pid, SIGKILL);
+    }
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    return status;
+}
+
+bool
+filesIdentical(const std::string &a, const std::string &b)
+{
+    std::ifstream fa(a, std::ios::binary), fb(b, std::ios::binary);
+    if (!fa || !fb)
+        return false;
+    std::stringstream sa, sb;
+    sa << fa.rdbuf();
+    sb << fb.rdbuf();
+    return sa.str() == sb.str();
+}
+
+uint64_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0
+               ? static_cast<uint64_t>(st.st_size)
+               : 0;
+}
+
+/** Append a torn record to the journal: a frame header promising a
+ *  large payload, followed by only a few payload bytes. The loader
+ *  must drop it as a truncated tail and the resume must truncate it
+ *  away. */
+bool
+tearJournalTail(const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    if (!os)
+        return false;
+    uint32_t len = 100000; // promised payload, never delivered
+    uint8_t type = 1;      // Cell
+    uint64_t key = 0xdeadbeefdeadbeefull;
+    os.write(reinterpret_cast<const char *>(&len), 4);
+    os.write(reinterpret_cast<const char *>(&type), 1);
+    os.write(reinterpret_cast<const char *>(&key), 8);
+    os.write("torn", 4);
+    return os.good();
+}
+
+/**
+ * One full scenario: kill the campaign at random points until it
+ * completes, then compare against the clean reference. Returns the
+ * number of kills landed, or -1 on harness/compare failure.
+ */
+int
+runScenario(const std::vector<std::string> &victim,
+            const std::string &dir, const std::string &jobs,
+            unsigned max_delay_ms, XorShift &rng,
+            const std::string &clean_out,
+            const std::string &clean_json)
+{
+    std::string journal = dir + "/killer_j" + jobs + ".jrn";
+    std::string out = dir + "/killer_j" + jobs + ".out";
+    std::string json = dir + "/killer_j" + jobs + ".json";
+    std::remove(journal.c_str());
+
+    int kills = 0;
+    bool tore_tail = false;
+    bool first = true;
+    // The kill window adapts: when a kill lands without the journal
+    // having grown, the window was shorter than one cell's compute
+    // time (plus startup), so it widens until resumes make progress.
+    unsigned delay_cap = max_delay_ms;
+    uint64_t last_size = 0;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        std::vector<std::string> extra = {
+            first ? "--journal" : "--resume", journal,
+            "--stats-json",      json,
+            "--jobs",            jobs,
+        };
+        first = false;
+        unsigned delay = 40 + rng.next() % (delay_cap - 39);
+        int status = runVictim(victim, extra, out, delay);
+        if (status < 0)
+            return -1;
+        if (WIFSIGNALED(status)) {
+            ++kills;
+            uint64_t size = fileSize(journal);
+            if (size <= last_size && delay_cap < 10000)
+                delay_cap *= 2;
+            last_size = size;
+            // Tear the tail once, mid-scenario, to exercise the
+            // torn-write recovery path on the next resume.
+            if (!tore_tail && kills >= 2) {
+                if (!tearJournalTail(journal)) {
+                    std::fprintf(stderr,
+                                 "killer: cannot tear %s\n",
+                                 journal.c_str());
+                    return -1;
+                }
+                tore_tail = true;
+            }
+            continue;
+        }
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "killer: victim exited with status %d "
+                         "after %d kill(s)\n",
+                         WEXITSTATUS(status), kills);
+            return -1;
+        }
+        // Completed: the merged output must match the clean run.
+        if (!filesIdentical(out, clean_out)) {
+            std::fprintf(stderr,
+                         "killer: stdout differs from clean run "
+                         "(--jobs %s, %d kills)\n",
+                         jobs.c_str(), kills);
+            return -1;
+        }
+        if (!filesIdentical(json, clean_json)) {
+            std::fprintf(stderr,
+                         "killer: stats JSON differs from clean run "
+                         "(--jobs %s, %d kills)\n",
+                         jobs.c_str(), kills);
+            return -1;
+        }
+        return kills;
+    }
+    std::fprintf(stderr, "killer: campaign never completed\n");
+    return -1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 1;
+    int min_kills = 5;
+    int max_restarts = 25;
+    std::vector<std::string> victim;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--" && i + 1 < argc) {
+            for (int k = i + 1; k < argc; ++k)
+                victim.push_back(argv[k]);
+            break;
+        }
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             argv[i]);
+                exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seed")
+            seed = std::strtoull(need(), nullptr, 10);
+        else if (a == "--min-kills")
+            min_kills = std::atoi(need());
+        else if (a == "--max-restarts")
+            max_restarts = std::atoi(need());
+        else {
+            std::fprintf(stderr, "unknown argument %s\n", a.c_str());
+            return 2;
+        }
+    }
+    if (victim.empty()) {
+        std::fprintf(stderr,
+                     "usage: nvmr_killer [--seed N] [--min-kills N] "
+                     "-- TOOL ARGS...\n");
+        return 2;
+    }
+
+    const char *dir_env = std::getenv("NVMR_KILLER_DIR");
+    std::string dir = dir_env ? dir_env : ".";
+    ::mkdir(dir.c_str(), 0755); // best-effort; may already exist
+
+    // Clean reference run (no journal, default worker count).
+    std::string clean_out = dir + "/killer_clean.out";
+    std::string clean_json = dir + "/killer_clean.json";
+    int status = runVictim(victim,
+                           {"--stats-json", clean_json}, clean_out,
+                           0);
+    if (status < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "killer: clean run failed\n");
+        return 1;
+    }
+
+    XorShift rng(seed * 2654435761ull + 1);
+    for (const char *jobs : {"1", "4"}) {
+        // The kill delays shrink on every restart until enough kills
+        // land before the campaign finishes.
+        unsigned max_delay_ms = 400;
+        int kills = -1;
+        for (int restart = 0; restart < max_restarts; ++restart) {
+            kills = runScenario(victim, dir, jobs, max_delay_ms, rng,
+                                clean_out, clean_json);
+            if (kills < 0)
+                return 1;
+            if (kills >= min_kills)
+                break;
+            max_delay_ms = max_delay_ms > 80
+                               ? max_delay_ms / 2
+                               : 80;
+            std::printf("killer: --jobs %s converged after only %d "
+                        "kill(s); retrying with <=%u ms delays\n",
+                        jobs, kills, max_delay_ms);
+        }
+        if (kills < min_kills) {
+            std::fprintf(stderr,
+                         "killer: could not land %d kills at "
+                         "--jobs %s (campaign too short?)\n",
+                         min_kills, jobs);
+            return 1;
+        }
+        std::printf("killer: --jobs %s survived %d SIGKILLs "
+                    "(1 torn tail) with byte-identical output\n",
+                    jobs, kills);
+    }
+    std::puts("killer: all scenarios byte-identical");
+    return 0;
+}

@@ -9,16 +9,30 @@
  *     nvmr_sweep --traces 3 --archs clank,nvmr --caps 0.1,0.0075
  *     nvmr_sweep --workloads hist --stats-json sweep.json
  *     nvmr_sweep --jobs 8                      # worker count
+ *     nvmr_sweep --journal sweep.jrn           # checkpoint cells
+ *     nvmr_sweep --resume sweep.jrn            # skip finished cells
+ *     nvmr_sweep --watchdog-cycles 50000000    # quarantine hangs
+ *
+ * The work-list runs through the campaign layer (docs/operations.md):
+ * every finished cell is journaled, a SIGKILL'd sweep resumes with
+ * byte-identical merged output, hung cells are retried then
+ * quarantined into the manifest, and SIGINT/SIGTERM flush a partial
+ * manifest before exiting 128+signal.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/cellio.hh"
+#include "campaign/sig.hh"
 #include "cli.hh"
+#include "common/exitcodes.hh"
 #include "common/log.hh"
 #include "obs/manifest.hh"
 #include "par/par.hh"
@@ -42,6 +56,18 @@ splitList(const std::string &value)
     return out;
 }
 
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &s : items) {
+        if (!out.empty())
+            out += ',';
+        out += s;
+    }
+    return out;
+}
+
 PolicyKind
 parseSweepPolicy(const std::string &name)
 {
@@ -58,6 +84,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    campaign::installSignalHandlers();
     int num_traces = 5;
     std::vector<std::string> archs = {"clank", "nvmr", "hoop"};
     std::vector<std::string> policies = {"jit", "watchdog"};
@@ -65,6 +92,7 @@ main(int argc, char **argv)
     std::vector<double> caps = {0.1};
     std::vector<std::string> workloads;
     std::string stats_json_path;
+    campaign::Options copts;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -74,6 +102,8 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         if (cli::handleJobsArg(argc, argv, i))
+            continue;
+        if (cli::handleCampaignArg(argc, argv, i, copts))
             continue;
         std::string a = argv[i];
         if (a == "--traces") {
@@ -110,17 +140,32 @@ main(int argc, char **argv)
     auto traces = HarvestTrace::standardSet(num_traces);
     ManifestWriter manifest("nvmr_sweep");
 
-    // Flatten the grid into independent cells, assemble every program
-    // up front (workers must not race the assembler caches), fan the
-    // cells across the engine, then print in canonical grid order.
+    // Canonical config spec: everything that shapes the work-list or
+    // the per-cell results gates --resume (not --jobs, not paths).
+    std::string config_spec = "sweep|traces=" +
+                              std::to_string(num_traces) +
+                              "|archs=" + joinList(archs) +
+                              "|policies=" + joinList(policies);
+    config_spec += "|caps=";
+    for (size_t i = 0; i < caps.size(); ++i) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%s%.17g", i ? "," : "",
+                      caps[i]);
+        config_spec += buf;
+    }
+    config_spec += "|workloads=" + joinList(workloads);
+    cli::appendWatchdogSpec(config_spec, copts);
+
+    campaign::Campaign cam("nvmr_sweep", config_spec, copts);
+
+    // Flatten the grid into independent cells. Programs are assembled
+    // up front -- workers must not race the assembler caches -- but
+    // only for workloads that still have fresh cells to run.
     struct Cell
     {
         size_t wl, ai, pi;
         double farads;
     };
-    std::vector<Program> programs;
-    for (const std::string &wl : workloads)
-        programs.push_back(assembleWorkload(wl));
     std::vector<Cell> cells;
     for (size_t wi = 0; wi < workloads.size(); ++wi)
         for (size_t ai = 0; ai < arch_kinds.size(); ++ai)
@@ -128,21 +173,39 @@ main(int argc, char **argv)
                 for (double farads : caps)
                     cells.push_back(Cell{wi, ai, pi, farads});
 
-    par::Progress progress("sweep", cells.size());
-    std::vector<std::vector<RunResult>> cell_runs =
-        par::parallelMap<std::vector<RunResult>>(
-            cells.size(),
-            [&](size_t i) {
-                const Cell &c = cells[i];
-                SystemConfig cfg;
-                cfg.capacitorFarads = c.farads;
-                PolicySpec spec;
-                spec.kind = policy_kinds[c.pi];
-                return runOnTraces(programs[c.wl], arch_kinds[c.ai],
-                                   cfg, spec, traces);
-            },
-            0, &progress);
-    progress.finish();
+    std::vector<Program> programs(workloads.size());
+    std::vector<char> needed(workloads.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i)
+        if (!cam.cellDone("grid", i))
+            needed[cells[i].wl] = 1;
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        if (needed[wi])
+            programs[wi] = assembleWorkload(workloads[wi]);
+
+    auto cell_results = cam.runStage(
+        "grid", cells.size(),
+        [&](const campaign::CellContext &ctx)
+            -> std::optional<std::string> {
+            const Cell &c = cells[ctx.index];
+            SystemConfig cfg;
+            cfg.capacitorFarads = c.farads;
+            PolicySpec spec;
+            spec.kind = policy_kinds[c.pi];
+            RunOptions ropts;
+            if (ctx.budgetCycles)
+                ropts.maxCycles = ctx.budgetCycles;
+            auto runs = runOnTraces(programs[c.wl], arch_kinds[c.ai],
+                                    cfg, spec, traces, ropts);
+            if (ctx.budgetCycles)
+                for (const RunResult &r : runs)
+                    if (!r.completed)
+                        throw campaign::CellTimeout{
+                            workloads[c.wl] + "/" + archs[c.ai] +
+                            "/" + policies[c.pi] + " exceeded " +
+                            std::to_string(ctx.budgetCycles) +
+                            " cycles on trace " + r.trace};
+            return campaign::encodeRunResults(runs);
+        });
 
     std::printf(
         "workload,arch,policy,capacitor_f,total_uj,forward_uj,"
@@ -150,16 +213,22 @@ main(int argc, char **argv)
         "backups,violations,renames,reclaims,power_failures,"
         "nvm_writes,max_wear,completed,validated\n");
 
+    if (!cells.empty()) {
+        SystemConfig cfg;
+        cfg.capacitorFarads = cells[0].farads;
+        manifest.setConfig(cfg);
+    }
     for (size_t i = 0; i < cells.size(); ++i) {
+        if (cell_results[i].status != campaign::CellStatus::Done)
+            continue; // quarantined or interrupt-skipped: no row
         const Cell &c = cells[i];
-        if (i == 0) {
-            SystemConfig cfg;
-            cfg.capacitorFarads = c.farads;
-            manifest.setConfig(cfg);
-        }
-        Aggregate a = aggregate(cell_runs[i]);
+        std::vector<RunResult> runs;
+        fatal_if(!campaign::decodeRunResults(cell_results[i].payload,
+                                             runs),
+                 "corrupt journal payload for sweep cell ", i);
+        Aggregate a = aggregate(runs);
         if (!stats_json_path.empty())
-            for (const RunResult &r : cell_runs[i])
+            for (const RunResult &r : runs)
                 manifest.addRun(r);
         std::printf(
             "%s,%s,%s,%g,%.2f,%.2f,%.2f,%.2f,%.2f,"
@@ -181,14 +250,33 @@ main(int argc, char **argv)
             a.powerFailures, a.nvmWrites, a.maxWear,
             a.allCompleted ? 1 : 0, a.allValidated ? 1 : 0);
     }
-    std::fflush(stdout);
+    int rc = kExitOk;
+    if (std::fflush(stdout) != 0 || std::ferror(stdout)) {
+        warn("error writing CSV to stdout");
+        rc = kExitDegraded;
+    }
+
+    for (const auto &q : cam.quarantined())
+        warn("quarantined cell ", q.index, " (",
+             workloads[cells[q.index].wl], "/",
+             archs[cells[q.index].ai], "/",
+             policies[cells[q.index].pi], ") after ", q.attempts,
+             " attempt(s): ", q.reason);
 
     if (!stats_json_path.empty()) {
         manifest.addExtra("cells",
                           static_cast<double>(cells.size()));
         manifest.addExtra("traces_per_cell",
                           static_cast<double>(traces.size()));
-        manifest.writeFile(stats_json_path);
+        manifest.addExtraJson(
+            "quarantine",
+            cam.quarantineJson([&](const campaign::QuarantineEntry &q) {
+                const Cell &c = cells[q.index];
+                return workloads[c.wl] + "/" + archs[c.ai] + "/" +
+                       policies[c.pi];
+            }));
+        if (!manifest.tryWriteFile(stats_json_path))
+            rc = kExitDegraded;
     }
-    return 0;
+    return cam.exitCode(rc);
 }

@@ -7,18 +7,30 @@
  *
  *     nvmr_train clank.model -a clank
  *     nvmr_train nvmr.model -a nvmr -w hist,dwt,adpcm_encode --cap 0.0075
+ *     nvmr_train nvmr.model -a nvmr --journal t.jrn   # checkpoint
+ *
+ * Sample collection runs through the campaign layer
+ * (docs/operations.md): each (workload, trace) cell's samples are
+ * journaled, so a killed run resumes with the identical sample set
+ * and therefore the identical trained model.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.hh"
+#include "campaign/cellio.hh"
+#include "campaign/sig.hh"
 #include "cli.hh"
+#include "common/exitcodes.hh"
 #include "common/log.hh"
 #include "sim/experiment.hh"
+#include "workloads/workloads.hh"
 
 using namespace nvmr;
 
@@ -26,11 +38,13 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    campaign::installSignalHandlers();
     std::string out_path;
     std::string arch_name = "clank";
     std::vector<std::string> workloads = {"hist", "dwt",
                                           "adpcm_encode"};
     double cap = 7.5e-3; // small enough that the oracle fires often
+    campaign::Options copts;
 
     auto need = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -40,6 +54,8 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         if (cli::handleJobsArg(argc, argv, i))
+            continue;
+        if (cli::handleCampaignArg(argc, argv, i, copts))
             continue;
         std::string a = argv[i];
         if (a == "-a" || a == "--arch") {
@@ -77,14 +93,110 @@ main(int argc, char **argv)
     SystemConfig cfg;
     cfg.capacitorFarads = cap;
 
+    std::string config_spec = "train|arch=" + arch_name;
+    config_spec += "|workloads=";
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        if (i)
+            config_spec += ',';
+        config_spec += workloads[i];
+    }
+    char capbuf[40];
+    std::snprintf(capbuf, sizeof(capbuf), "|cap=%.17g", cap);
+    config_spec += capbuf;
+    cli::appendWatchdogSpec(config_spec, copts);
+    campaign::Campaign cam("nvmr_train", config_spec, copts);
+
+    auto train_traces = HarvestTrace::trainingSet();
+    auto test_traces = HarvestTrace::testSet();
+
+    // One cell per (workload, trace), workload-major -- the same
+    // canonical order the serial collector appended in, so the
+    // concatenated sample set (and thus the trained model) is
+    // identical with any worker count, with or without a resume.
+    auto collectStage = [&](const std::string &stage,
+                            const std::vector<Program> &programs,
+                            const std::vector<HarvestTrace> &traces) {
+        return cam.runStage(
+            stage, workloads.size() * traces.size(),
+            [&](const campaign::CellContext &ctx)
+                -> std::optional<std::string> {
+                const Program &prog = programs[ctx.index /
+                                               traces.size()];
+                const HarvestTrace &trace = traces[ctx.index %
+                                                   traces.size()];
+                bool completed = true;
+                auto samples = collectSpendthriftCell(
+                    prog, arch, cfg, trace, ctx.budgetCycles,
+                    &completed);
+                if (ctx.budgetCycles && !completed)
+                    throw campaign::CellTimeout{
+                        prog.name + "/" + trace.name() +
+                        " exceeded " +
+                        std::to_string(ctx.budgetCycles) + " cycles"};
+                return campaign::encodeSamples(samples);
+            });
+    };
+
+    // Assemble only the workloads that still have fresh cells.
+    std::vector<Program> programs(workloads.size());
+    std::vector<char> needed(workloads.size(), 0);
+    for (size_t wi = 0; wi < workloads.size(); ++wi) {
+        for (size_t t = 0; t < train_traces.size(); ++t)
+            if (!cam.cellDone("train", wi * train_traces.size() + t))
+                needed[wi] = 1;
+        for (size_t t = 0; t < test_traces.size(); ++t)
+            if (!cam.cellDone("test", wi * test_traces.size() + t))
+                needed[wi] = 1;
+    }
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        if (needed[wi])
+            programs[wi] = assembleWorkload(workloads[wi]);
+
     std::printf("training on %zu workloads x 7 traces (%s, %g F)\n",
                 workloads.size(), arch_name.c_str(), cap);
-    double accuracy = 0;
-    SpendthriftModel model =
-        trainSpendthriftModel(arch, cfg, workloads, &accuracy);
+    auto train_cells = collectStage("train", programs, train_traces);
+    auto test_cells = collectStage("test", programs, test_traces);
+
+    if (cam.interrupted()) {
+        std::printf("interrupted: %llu cell(s) checkpointed\n",
+                    static_cast<unsigned long long>(
+                        cam.resumedCells()));
+        std::fflush(stdout);
+        return cam.exitCode(kExitOk);
+    }
+
+    auto gather = [&](const std::vector<campaign::CellResult> &cells) {
+        std::vector<SpendthriftSample> samples;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].status != campaign::CellStatus::Done)
+                continue; // quarantined cell: samples omitted
+            std::vector<SpendthriftSample> part;
+            fatal_if(!campaign::decodeSamples(cells[i].payload, part),
+                     "corrupt journal payload for training cell ", i);
+            samples.insert(samples.end(), part.begin(), part.end());
+        }
+        return samples;
+    };
+
+    auto train_samples = gather(train_cells);
+    fatal_if(train_samples.empty(), "no spendthrift training samples");
+    balanceSamples(train_samples);
+    SpendthriftModel model;
+    model.train(train_samples);
+    double accuracy = model.accuracy(gather(test_cells));
+
     model.saveToFile(out_path);
     std::printf("held-out accuracy: %.1f%% (3 test traces)\n",
                 accuracy * 100.0);
     std::printf("saved to %s\n", out_path.c_str());
-    return 0;
+    for (const auto &q : cam.quarantined())
+        warn("quarantined ", q.stage, " cell ", q.index, " (",
+             workloads[q.index / (q.stage == "train"
+                                      ? train_traces.size()
+                                      : test_traces.size())],
+             ") after ", q.attempts, " attempt(s): ", q.reason);
+    int rc = kExitOk;
+    if (std::fflush(stdout) != 0 || std::ferror(stdout))
+        rc = kExitDegraded;
+    return cam.exitCode(rc);
 }
